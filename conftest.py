@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make the in-tree ``src`` layout importable.
+
+The project is normally installed with ``pip install -e .``; this fallback
+keeps ``pytest`` working in a pristine checkout (or in offline environments
+where the editable install is unavailable).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Hardware-level framework walk-through: Tables II-V in one script.
+
+Runs the bundled Dhrystone-like workload through the complete flow of the
+paper — translation, cycle-accurate simulation, gate-level analysis with the
+CNTFET technology description, FPGA resource estimation, and the performance
+estimator — and prints the resulting Table II/IV/V style metrics alongside
+the PicoRV32/VexRiscv baseline cycle models.
+
+Run with:  python examples/evaluate_processor.py
+"""
+
+from repro.baselines import PicoRV32Model, VexRiscvModel
+from repro.framework import HardwareFramework, SoftwareFramework
+from repro.hweval import DhrystoneMetrics
+from repro.workloads import build_dhrystone
+
+
+def main() -> None:
+    workload = build_dhrystone()
+    software = SoftwareFramework()
+    hardware = HardwareFramework()
+
+    program, report = software.compile_workload(workload)
+    print(f"translated {report.rv_instructions} RV-32 instructions into "
+          f"{report.final_instructions} ART-9 instructions "
+          f"({report.ternary_memory_trits} trits vs {report.rv_memory_bits} bits)\n")
+
+    evaluation = hardware.evaluate(program, iterations=workload.iterations)
+    print(evaluation.summary())
+
+    # Baseline comparison (Table II / III style).
+    rv_program = workload.rv_program()
+    pico = PicoRV32Model().run(rv_program)
+    vex = VexRiscvModel().run(rv_program)
+    art9_cycles = evaluation.pipeline_stats.cycles
+
+    def dmips_per_mhz(cycles):
+        return DhrystoneMetrics(cycles=cycles, iterations=workload.iterations).dmips_per_mhz
+
+    print("\nDhrystone comparison against the binary baselines:")
+    print(f"  {'core':<18s}{'cycles':>10s}{'DMIPS/MHz':>12s}")
+    print(f"  {'ART-9 (this work)':<18s}{art9_cycles:>10d}{dmips_per_mhz(art9_cycles):>12.2f}")
+    print(f"  {'VexRiscv':<18s}{vex.cycles:>10d}{dmips_per_mhz(vex.cycles):>12.2f}")
+    print(f"  {'PicoRV32':<18s}{pico.cycles:>10d}{dmips_per_mhz(pico.cycles):>12.2f}")
+
+
+if __name__ == "__main__":
+    main()

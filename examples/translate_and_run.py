@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Software-level framework walk-through: RV-32I assembly to ART-9 execution.
+
+Shows the full translation pipeline of Fig. 2 — instruction mapping, operand
+conversion with register renaming, redundancy checking — on a small RV-32I
+program, and verifies that the translated ternary code computes exactly the
+same results as the original running on the RV-32 reference simulator.
+
+Run with:  python examples/translate_and_run.py
+"""
+
+from repro.framework import SoftwareFramework
+from repro.riscv import RVSimulator, assemble_riscv
+from repro.sim import PipelineSimulator
+from repro.xlate.translator import read_rv_register_from_simulator
+
+RV_SOURCE = """
+# Compute the dot product of two small vectors and the sum of squares of the
+# first one, using the M-extension multiply (lowered to the ternary runtime
+# multiply helper by the translation framework).
+    la   t0, vec_a
+    la   t1, vec_b
+    li   t2, 0              # element index
+    li   a0, 0              # dot product
+    li   a1, 0              # sum of squares
+loop:
+    slli t3, t2, 2
+    add  t4, t0, t3
+    lw   t5, 0(t4)
+    add  t4, t1, t3
+    lw   t6, 0(t4)
+    mul  s0, t5, t6
+    add  a0, a0, s0
+    mul  s0, t5, t5
+    add  a1, a1, s0
+    addi t2, t2, 1
+    li   t3, 6
+    blt  t2, t3, loop
+    ecall
+
+.data
+vec_a: .word 3, -5, 7, 2, 9, -1
+vec_b: .word 4,  6, 1, 8, 2,  5
+"""
+
+
+def main() -> None:
+    rv_program = assemble_riscv(RV_SOURCE, name="dot_product")
+
+    # Reference run on the RV-32 substrate (stands in for a real RISC-V core).
+    rv_sim = RVSimulator(rv_program)
+    rv_sim.run()
+    rv_dot = rv_sim.read_reg(10)
+    rv_squares = rv_sim.read_reg(11)
+    print(f"RV-32 reference: dot product = {rv_dot}, sum of squares = {rv_squares}")
+
+    # Translate with the software-level framework and inspect the report.
+    framework = SoftwareFramework()
+    art9_program, report = framework.compile_riscv_program(rv_program)
+    print("\n" + report.summary())
+    print("\nregister renaming decided by the framework:")
+    print(report.allocation.describe())
+
+    # Execute the ternary program on the cycle-accurate pipeline.
+    pipeline = PipelineSimulator(art9_program)
+    stats = pipeline.run()
+    art9_dot = read_rv_register_from_simulator(report, pipeline, 10)
+    art9_squares = read_rv_register_from_simulator(report, pipeline, 11)
+    print(f"\nART-9 pipelined run: dot product = {art9_dot}, sum of squares = {art9_squares}")
+    print(f"cycles = {stats.cycles}, CPI = {stats.cpi:.2f}, "
+          f"stalls = {stats.load_use_stalls}, flushes = {stats.control_flush_bubbles}")
+
+    assert (art9_dot, art9_squares) == (rv_dot, rv_squares)
+    print("\ntranslated ternary program reproduces the binary results exactly.")
+
+
+if __name__ == "__main__":
+    main()

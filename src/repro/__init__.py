@@ -1,0 +1,26 @@
+"""ART-9: design and evaluation frameworks for a RISC-based ternary processor.
+
+This package reproduces the system described in "Design and Evaluation
+Frameworks for Advanced RISC-based Ternary Processor" (DATE 2022):
+
+* :mod:`repro.ternary` — the balanced ternary number system substrate;
+* :mod:`repro.isa` — the 24-instruction ART-9 ISA, assembler and encodings;
+* :mod:`repro.sim` — the functional and cycle-accurate (5-stage pipeline)
+  simulators;
+* :mod:`repro.riscv` — the RV-32I substrate standing in for the binary
+  tool chain;
+* :mod:`repro.xlate` — the software-level compiling framework (RV-32I →
+  ART-9 translation);
+* :mod:`repro.baselines` — PicoRV32 / VexRiscv cycle models and the ARMv6-M
+  code-size model;
+* :mod:`repro.hweval` — the hardware-level evaluation framework (technology
+  libraries, gate-level analyzer, performance estimator);
+* :mod:`repro.workloads` — the benchmark programs of the evaluation;
+* :mod:`repro.framework` — high-level facades tying the flows together.
+"""
+
+from repro.framework import HardwareFramework, SoftwareFramework
+
+__version__ = "1.0.0"
+
+__all__ = ["SoftwareFramework", "HardwareFramework", "__version__"]

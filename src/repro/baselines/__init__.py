@@ -1,0 +1,31 @@
+"""Baseline processor models used by the paper's evaluation.
+
+Tables II and III compare the ART-9 core against two open-source RISC-V
+cores (VexRiscv and PicoRV32) and Fig. 5 adds an ARMv6-M (Thumb) code-size
+point.  Offline we cannot run the original RTL, so each baseline is modelled
+at the level the comparison actually needs:
+
+* :class:`PicoRV32Model` — a per-instruction-class cycle-cost model of the
+  non-pipelined PicoRV32 core, driven by the RV-32 functional simulator.
+  The default costs follow the cycle counts documented in the PicoRV32
+  README (average CPI ≈ 4).
+* :class:`VexRiscvModel` — a 5-stage pipelined cycle model (one instruction
+  per cycle plus load-use interlocks and taken-branch penalties), matching
+  the lightweight VexRiscv configuration used in the paper.
+* :class:`ARMv6MCodeSizeModel` — a Thumb-1 code-size estimator used only for
+  the memory-cell comparison of Fig. 5.
+"""
+
+from repro.baselines.picorv32 import PicoRV32CycleCosts, PicoRV32Model
+from repro.baselines.vexriscv import VexRiscvModel, VexRiscvParameters
+from repro.baselines.armv6m import ARMv6MCodeSizeModel
+from repro.baselines.result import BaselineRunResult
+
+__all__ = [
+    "PicoRV32Model",
+    "PicoRV32CycleCosts",
+    "VexRiscvModel",
+    "VexRiscvParameters",
+    "ARMv6MCodeSizeModel",
+    "BaselineRunResult",
+]

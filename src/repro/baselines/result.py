@@ -1,0 +1,32 @@
+"""Common result record returned by the baseline cycle models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class BaselineRunResult:
+    """Cycle-model outcome for one workload on one baseline core."""
+
+    core: str
+    workload: str
+    cycles: int
+    instructions: int
+    instruction_mix: Dict[str, int] = field(default_factory=dict)
+    detail: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per executed instruction."""
+        if self.instructions == 0:
+            return float("nan")
+        return self.cycles / self.instructions
+
+    def summary(self) -> str:
+        """One-line human readable summary."""
+        return (
+            f"{self.core:10s} {self.workload:12s} "
+            f"cycles={self.cycles:>10d} instructions={self.instructions:>9d} CPI={self.cpi:.2f}"
+        )

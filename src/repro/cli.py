@@ -1,0 +1,124 @@
+"""Command-line interface for the ART-9 frameworks.
+
+Subcommands::
+
+    art9 translate <file.s>        translate an RV-32I assembly file to ART-9
+    art9 run <file.s>              translate and run on the pipeline simulator
+    art9 bench [workload ...]      run the bundled benchmarks (cycle counts)
+    art9 hw                        print the gate-level / FPGA analysis
+    art9 workloads                 list the bundled benchmark workloads
+
+The CLI is a thin wrapper over :mod:`repro.framework`; anything it prints can
+also be obtained programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.baselines import PicoRV32Model, VexRiscvModel
+from repro.framework import HardwareFramework, SoftwareFramework
+from repro.workloads import all_workloads, get_workload
+
+
+def _cmd_translate(args: argparse.Namespace) -> int:
+    with open(args.source, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    framework = SoftwareFramework(optimize=not args.no_optimize)
+    program, report = framework.compile_riscv_assembly(source, name=args.source)
+    print(report.summary())
+    if args.listing:
+        print()
+        print(program.listing())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    with open(args.source, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    software = SoftwareFramework()
+    program, report = software.compile_riscv_assembly(source, name=args.source)
+    hardware = HardwareFramework()
+    stats = hardware.simulate(program)
+    print(report.summary())
+    print()
+    print(stats.summary())
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    for name, workload in all_workloads().items():
+        print(f"{name:14s} {workload.description}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    names = args.workloads or sorted(all_workloads())
+    software = SoftwareFramework()
+    hardware = HardwareFramework()
+    header = f"{'workload':14s} {'ART-9 cycles':>14s} {'PicoRV32 cycles':>16s} {'VexRiscv cycles':>16s}"
+    print(header)
+    print("-" * len(header))
+    for name in names:
+        workload = get_workload(name)
+        rv_program = workload.rv_program()
+        program, _ = software.compile_workload(workload)
+        stats = hardware.simulate(program)
+        pico = PicoRV32Model().run(rv_program)
+        vex = VexRiscvModel().run(rv_program)
+        print(f"{name:14s} {stats.cycles:>14d} {pico.cycles:>16d} {vex.cycles:>16d}")
+    return 0
+
+
+def _cmd_hw(args: argparse.Namespace) -> int:
+    hardware = HardwareFramework()
+    print(hardware.analyze_gates().summary())
+    print()
+    print(hardware.analyze_fpga().summary())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse command-line parser."""
+    parser = argparse.ArgumentParser(prog="art9", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    subparsers = parser.add_subparsers(dest="command")
+
+    translate = subparsers.add_parser("translate", help="translate RV-32I assembly to ART-9")
+    translate.add_argument("source", help="RV-32I assembly file")
+    translate.add_argument("--listing", action="store_true", help="print the ART-9 listing")
+    translate.add_argument("--no-optimize", action="store_true",
+                           help="skip the redundancy-checking pass")
+    translate.set_defaults(func=_cmd_translate)
+
+    run = subparsers.add_parser("run", help="translate and run on the pipeline simulator")
+    run.add_argument("source", help="RV-32I assembly file")
+    run.set_defaults(func=_cmd_run)
+
+    bench = subparsers.add_parser("bench", help="run the bundled benchmarks")
+    bench.add_argument("workloads", nargs="*", help="workload names (default: all)")
+    bench.set_defaults(func=_cmd_bench)
+
+    hw = subparsers.add_parser("hw", help="gate-level / FPGA implementation analysis")
+    hw.set_defaults(func=_cmd_hw)
+
+    workloads = subparsers.add_parser("workloads", help="list the bundled workloads")
+    workloads.set_defaults(func=_cmd_workloads)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not getattr(args, "command", None):
+        parser.print_help()
+        return 1
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

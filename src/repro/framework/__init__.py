@@ -1,0 +1,22 @@
+"""High-level facades over the two frameworks of the paper.
+
+:class:`SoftwareFramework` wraps the RV-32 assembler and the translation
+pipeline ("software-level compiling framework", Sec. III-A);
+:class:`HardwareFramework` wraps the cycle-accurate simulator, the
+gate-level analyzer and the performance estimator ("hardware-level
+evaluation framework", Sec. III-B).  Together they expose the whole flow of
+the paper in a few calls:
+
+>>> from repro.framework import SoftwareFramework, HardwareFramework
+>>> from repro.workloads import build_dhrystone
+>>> workload = build_dhrystone()
+>>> sw = SoftwareFramework()
+>>> art9_program, report = sw.compile_workload(workload)
+>>> hw = HardwareFramework()
+>>> evaluation = hw.evaluate(art9_program, iterations=workload.iterations)
+"""
+
+from repro.framework.swflow import SoftwareFramework
+from repro.framework.hwflow import EvaluationResult, HardwareFramework
+
+__all__ = ["SoftwareFramework", "HardwareFramework", "EvaluationResult"]

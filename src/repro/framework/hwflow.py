@@ -1,0 +1,101 @@
+"""Hardware-level framework facade: programs in, implementation metrics out."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.hweval.analyzer import GateLevelAnalyzer, GateLevelReport
+from repro.hweval.cntfet import cntfet_32nm_library
+from repro.hweval.estimator import DhrystoneMetrics, PerformanceEstimator, PerformanceReport
+from repro.hweval.fpga import FPGAEmulationModel, FPGAResourceReport, stratix_v_model
+from repro.hweval.technology import TechnologyLibrary
+from repro.isa.program import Program
+from repro.sim.pipeline import PipelineSimulator, PipelineStats
+
+
+@dataclass
+class EvaluationResult:
+    """Everything the hardware-level framework produced for one program."""
+
+    program_name: str
+    pipeline_stats: PipelineStats
+    gate_report: GateLevelReport
+    fpga_report: FPGAResourceReport
+    cntfet_performance: PerformanceReport
+    fpga_performance: PerformanceReport
+    memory_cells_trits: int
+
+    def summary(self) -> str:
+        """Multi-line report combining the cycle, gate and system metrics."""
+        parts = [
+            f"=== {self.program_name} ===",
+            self.pipeline_stats.summary(),
+            "",
+            self.gate_report.summary(),
+            "",
+            self.fpga_report.summary(),
+            "",
+            "-- CNTFET implementation --",
+            self.cntfet_performance.summary(),
+            "",
+            "-- FPGA emulation --",
+            self.fpga_performance.summary(),
+        ]
+        return "\n".join(parts)
+
+
+class HardwareFramework:
+    """The hardware-level evaluation framework as one object.
+
+    It runs the cycle-accurate simulator on the given program, analyses the
+    ART-9 datapath netlist against the requested technology libraries and
+    combines everything through the performance estimator.
+    """
+
+    def __init__(self, technology: Optional[TechnologyLibrary] = None,
+                 fpga_model: Optional[FPGAEmulationModel] = None):
+        self.technology = technology or cntfet_32nm_library()
+        self.fpga_model = fpga_model or stratix_v_model()
+        self.analyzer = GateLevelAnalyzer()
+
+    def simulate(self, program: Program, max_cycles: int = 50_000_000) -> PipelineStats:
+        """Run the cycle-accurate 5-stage pipeline simulator."""
+        simulator = PipelineSimulator(program)
+        return simulator.run(max_cycles=max_cycles)
+
+    def analyze_gates(self) -> GateLevelReport:
+        """Run the gate-level analyzer for the configured technology."""
+        return self.analyzer.analyze(self.technology)
+
+    def analyze_fpga(self) -> FPGAResourceReport:
+        """Run the FPGA emulation resource model."""
+        return self.fpga_model.estimate()
+
+    def evaluate(self, program: Program, iterations: int = 1,
+                 max_cycles: int = 50_000_000) -> EvaluationResult:
+        """Full flow: simulate, analyse and estimate for ``program``.
+
+        ``iterations`` is the number of benchmark iterations the program
+        executes (used by the Dhrystone-style DMIPS conversion).
+        """
+        stats = self.simulate(program, max_cycles=max_cycles)
+        gate_report = self.analyze_gates()
+        fpga_report = self.analyze_fpga()
+
+        dhrystone = DhrystoneMetrics(
+            cycles=stats.cycles,
+            iterations=iterations,
+            instructions=stats.instructions_committed,
+        )
+        estimator = PerformanceEstimator(dhrystone)
+        memory_cells = program.total_memory_trits()
+        return EvaluationResult(
+            program_name=program.name,
+            pipeline_stats=stats,
+            gate_report=gate_report,
+            fpga_report=fpga_report,
+            cntfet_performance=estimator.for_gate_level(gate_report, memory_cells=memory_cells),
+            fpga_performance=estimator.for_fpga(fpga_report, memory_cells=memory_cells),
+            memory_cells_trits=memory_cells,
+        )

@@ -1,0 +1,48 @@
+"""Software-level framework facade: RV-32 sources in, ART-9 programs out."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.riscv.assembler import assemble_riscv
+from repro.riscv.program import RVProgram
+from repro.workloads.base import Workload
+from repro.xlate.translator import TernaryTranslator, TranslationReport
+
+
+class SoftwareFramework:
+    """The software-level compiling framework as one object.
+
+    The three entry points correspond to the three kinds of input a user has:
+
+    * ``compile_riscv_assembly`` — RV-32I assembly text (what a binary
+      compiler tool chain emits);
+    * ``compile_workload`` — one of the bundled benchmark workloads;
+    * ``assemble_ternary`` — native ART-9 assembly, bypassing translation
+      (useful for hand-written ternary kernels and for tests).
+    """
+
+    def __init__(self, optimize: bool = True):
+        self.translator = TernaryTranslator(optimize=optimize)
+
+    def compile_riscv_assembly(self, source: str, name: str = "program"
+                               ) -> Tuple[Program, TranslationReport]:
+        """Assemble RV-32 ``source`` and translate it to an ART-9 program."""
+        rv_program = assemble_riscv(source, name=name)
+        return self.translator.translate(rv_program)
+
+    def compile_riscv_program(self, rv_program: RVProgram
+                              ) -> Tuple[Program, TranslationReport]:
+        """Translate an already-assembled RV-32 program."""
+        return self.translator.translate(rv_program)
+
+    def compile_workload(self, workload: Workload) -> Tuple[Program, TranslationReport]:
+        """Translate one of the bundled benchmark workloads."""
+        return self.translator.translate(workload.rv_program())
+
+    @staticmethod
+    def assemble_ternary(source: str, name: str = "program") -> Program:
+        """Assemble native ART-9 assembly text (no translation involved)."""
+        return assemble(source, name=name)

@@ -1,0 +1,44 @@
+"""Hardware-level evaluation framework (Sec. III-B of the paper).
+
+The framework has three stages, mirroring Fig. 3:
+
+1. the **cycle-accurate simulator** (:mod:`repro.sim.pipeline`) supplies the
+   processing-cycle counts for a workload;
+2. the **gate-level analyzer** (:mod:`repro.hweval.analyzer`) takes the
+   structural description of the pipelined ART-9 datapath
+   (:mod:`repro.hweval.netlist`) together with a *technology property
+   description* (:mod:`repro.hweval.technology`) and estimates gate count,
+   critical delay and power;
+3. the **performance estimator** (:mod:`repro.hweval.estimator`) combines
+   both into the implementation-aware metrics the paper reports: operating
+   frequency, DMIPS, DMIPS/MHz and DMIPS/W.
+
+Two technology property descriptions are bundled: the 32 nm CNTFET ternary
+standard cells of refs. [7]/[8] (Table IV) and the binary-encoded FPGA
+emulation on an Intel Stratix-V (Table V).
+"""
+
+from repro.hweval.technology import GateKind, GateProperties, TechnologyLibrary
+from repro.hweval.cntfet import cntfet_32nm_library
+from repro.hweval.fpga import FPGAEmulationModel, FPGAResourceReport, stratix_v_model
+from repro.hweval.netlist import ART9_BLOCKS, DatapathBlock, art9_datapath_netlist
+from repro.hweval.analyzer import GateLevelAnalyzer, GateLevelReport
+from repro.hweval.estimator import DhrystoneMetrics, PerformanceEstimator, PerformanceReport
+
+__all__ = [
+    "GateKind",
+    "GateProperties",
+    "TechnologyLibrary",
+    "cntfet_32nm_library",
+    "FPGAEmulationModel",
+    "FPGAResourceReport",
+    "stratix_v_model",
+    "DatapathBlock",
+    "ART9_BLOCKS",
+    "art9_datapath_netlist",
+    "GateLevelAnalyzer",
+    "GateLevelReport",
+    "PerformanceEstimator",
+    "PerformanceReport",
+    "DhrystoneMetrics",
+]

@@ -1,0 +1,168 @@
+"""Gate-level analyzer: gate counts, critical delay and power.
+
+The analyzer walks the block inventory of the ART-9 datapath
+(:mod:`repro.hweval.netlist`), looks every primitive gate up in the supplied
+technology property description and produces:
+
+* the total gate count and its per-stage / per-block breakdown;
+* the critical delay, estimated as the longest sum of (stage input latch →
+  combinational chain → stage output latch) over the five pipeline stages
+  — because the design is pipelined, the clock period is set by the slowest
+  stage, not by the sum of all stages;
+* the power consumption: static power of every gate plus dynamic power from
+  the per-gate switching energy, the clock frequency and an activity factor.
+
+These are exactly the quantities the performance estimator needs to fill in
+Table IV (CNTFET) and, combined with the FPGA resource model, Table V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hweval.netlist import DatapathBlock, art9_datapath_netlist
+from repro.hweval.technology import GateKind, TechnologyLibrary
+
+
+@dataclass
+class GateLevelReport:
+    """Output of the gate-level analyzer for one technology."""
+
+    technology: str
+    supply_voltage: float
+    total_gates: int
+    gates_by_kind: Dict[str, int]
+    gates_by_stage: Dict[str, int]
+    critical_delay_ps: float
+    critical_stage: str
+    max_frequency_mhz: float
+    static_power_uw: float
+    dynamic_power_uw_at_fmax: float
+    total_power_uw: float
+    transistor_count: int
+
+    def power_at(self, frequency_mhz: float, activity_factor: Optional[float] = None) -> float:
+        """Total power in microwatts at an arbitrary operating frequency."""
+        if frequency_mhz <= 0:
+            raise ValueError("frequency must be positive")
+        scale = frequency_mhz / self.max_frequency_mhz
+        return self.static_power_uw + self.dynamic_power_uw_at_fmax * scale
+
+    def summary(self) -> str:
+        """Human-readable report in the style of Table IV."""
+        lines = [
+            f"technology          : {self.technology} @ {self.supply_voltage:.2f} V",
+            f"total ternary gates : {self.total_gates}",
+            f"critical delay      : {self.critical_delay_ps:.1f} ps ({self.critical_stage} stage)",
+            f"max frequency       : {self.max_frequency_mhz:.1f} MHz",
+            f"static power        : {self.static_power_uw:.2f} uW",
+            f"dynamic power @fmax : {self.dynamic_power_uw_at_fmax:.2f} uW",
+            f"total power @fmax   : {self.total_power_uw:.2f} uW",
+        ]
+        return "\n".join(lines)
+
+
+class GateLevelAnalyzer:
+    """Analyses a datapath block inventory against a technology library."""
+
+    def __init__(self, blocks: Optional[List[DatapathBlock]] = None):
+        self.blocks = blocks if blocks is not None else art9_datapath_netlist()
+
+    # -- individual analyses ------------------------------------------------------
+
+    def gate_counts(self) -> Dict[str, int]:
+        """Total gate count per primitive gate kind."""
+        counts: Dict[str, int] = {kind: 0 for kind in GateKind.ALL}
+        for block in self.blocks:
+            for kind, count in block.gates.items():
+                counts[kind] = counts.get(kind, 0) + count
+        return {kind: count for kind, count in counts.items() if count}
+
+    def gate_counts_by_stage(self) -> Dict[str, int]:
+        """Total gate count per pipeline stage."""
+        by_stage: Dict[str, int] = {}
+        for block in self.blocks:
+            by_stage[block.stage] = by_stage.get(block.stage, 0) + block.gate_count()
+        return by_stage
+
+    def total_gates(self) -> int:
+        """Total number of primitive ternary gates in the datapath."""
+        return sum(block.gate_count() for block in self.blocks)
+
+    def critical_delay_ps(self, technology: TechnologyLibrary):
+        """Return ``(delay_ps, stage)`` of the slowest pipeline stage.
+
+        Each stage's delay is the flip-flop clock-to-output delay plus the
+        longest combinational chain of any block in that stage (blocks within
+        a stage operate in parallel on the same operands).
+        """
+        clk_to_q = technology.delay_ps(GateKind.FLIPFLOP)
+        worst_delay = 0.0
+        worst_stage = "EX"
+        for stage in ("IF", "ID", "EX", "MEM", "WB"):
+            serial_chain = 0.0
+            parallel_chain = 0.0
+            for block in self.blocks:
+                if block.stage != stage or not block.critical_chain:
+                    continue
+                chain = sum(technology.delay_ps(kind) for kind in block.critical_chain)
+                if block.path_order is not None:
+                    serial_chain += chain
+                else:
+                    parallel_chain = max(parallel_chain, chain)
+            delay = clk_to_q + max(serial_chain, parallel_chain)
+            if delay > worst_delay:
+                worst_delay, worst_stage = delay, stage
+        return worst_delay, worst_stage
+
+    def power_uw(self, technology: TechnologyLibrary, frequency_mhz: float,
+                 activity_factor: Optional[float] = None):
+        """Return ``(static_uw, dynamic_uw)`` at the given clock frequency."""
+        activity = technology.default_activity_factor if activity_factor is None else activity_factor
+        static_nw = 0.0
+        switched_energy_fj = 0.0
+        for block in self.blocks:
+            for kind, count in block.gates.items():
+                props = technology.properties(kind)
+                static_nw += count * props.static_power_nw
+                switched_energy_fj += count * props.switching_energy_fj * activity
+        # dynamic power = energy per cycle * cycles per second
+        dynamic_w = switched_energy_fj * 1e-15 * frequency_mhz * 1e6
+        return static_nw * 1e-3, dynamic_w * 1e6
+
+    def transistor_count(self, technology: TechnologyLibrary) -> int:
+        """Total transistor count (informational)."""
+        total = 0
+        for block in self.blocks:
+            for kind, count in block.gates.items():
+                total += count * technology.properties(kind).transistor_count
+        return total
+
+    # -- combined report --------------------------------------------------------------
+
+    def analyze(self, technology: TechnologyLibrary,
+                activity_factor: Optional[float] = None) -> GateLevelReport:
+        """Run the full analysis against ``technology``."""
+        missing = technology.missing_gates(self.gate_counts())
+        if missing:
+            raise ValueError(
+                f"technology {technology.name!r} lacks characterisation for: {missing}"
+            )
+        delay_ps, stage = self.critical_delay_ps(technology)
+        fmax_mhz = 1e6 / delay_ps  # 1/ps = THz; 1e6/ps = MHz
+        static_uw, dynamic_uw = self.power_uw(technology, fmax_mhz, activity_factor)
+        return GateLevelReport(
+            technology=technology.name,
+            supply_voltage=technology.supply_voltage,
+            total_gates=self.total_gates(),
+            gates_by_kind=self.gate_counts(),
+            gates_by_stage=self.gate_counts_by_stage(),
+            critical_delay_ps=delay_ps,
+            critical_stage=stage,
+            max_frequency_mhz=fmax_mhz,
+            static_power_uw=static_uw,
+            dynamic_power_uw_at_fmax=dynamic_uw,
+            total_power_uw=static_uw + dynamic_uw,
+            transistor_count=self.transistor_count(technology),
+        )

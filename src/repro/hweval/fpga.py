@@ -1,0 +1,122 @@
+"""FPGA emulation resource/power model (Intel Stratix-V, Table V).
+
+The FPGA prototype of the paper emulates every ternary building block with
+binary logic, storing each balanced trit in two bits (the binary-encoded
+ternary system of ref. [27]).  This module estimates the resources such an
+emulation occupies on a Stratix-V class device:
+
+* **registers** — two bits per trit of architectural/pipeline state;
+* **ALMs** — adaptive logic modules for the combinational gates, using
+  per-gate-kind ALM cost factors typical of 2-bit-encoded ternary functions
+  (a ternary full adder needs a handful of 6-input LUTs, an inverter fits in
+  a fraction of an ALM, ...);
+* **block RAM bits** — the binary-encoded TIM and TDM;
+* **power** — the device static power plus a dynamic term proportional to
+  the used ALMs, the clock frequency and an activity factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hweval.netlist import DatapathBlock, MemorySizing, art9_datapath_netlist
+from repro.hweval.technology import GateKind
+
+#: ALM cost of one emulated ternary gate (2-bit encoded logic on 6-input LUTs).
+DEFAULT_ALM_COSTS: Dict[str, float] = {
+    GateKind.STI: 0.75,
+    GateKind.NTI: 0.75,
+    GateKind.PTI: 0.75,
+    GateKind.AND: 1.5,
+    GateKind.OR: 1.5,
+    GateKind.XOR: 2.0,
+    GateKind.HALF_ADDER: 3.0,
+    GateKind.FULL_ADDER: 5.0,
+    GateKind.MUX: 1.5,
+    GateKind.COMPARATOR: 2.5,
+    GateKind.FLIPFLOP: 0.4,    # packing/routing overhead around the register
+    GateKind.DECODER: 1.25,
+}
+
+
+@dataclass
+class FPGAResourceReport:
+    """Estimated FPGA implementation of the binary-encoded ART-9 core."""
+
+    device: str
+    frequency_mhz: float
+    alms: int
+    registers: int
+    ram_bits: int
+    static_power_w: float
+    dynamic_power_w: float
+
+    @property
+    def total_power_w(self) -> float:
+        """Total board power in watts."""
+        return self.static_power_w + self.dynamic_power_w
+
+    def summary(self) -> str:
+        """Human-readable report in the style of Table V."""
+        lines = [
+            f"device        : {self.device}",
+            f"frequency     : {self.frequency_mhz:.0f} MHz",
+            f"ALMs          : {self.alms}",
+            f"registers     : {self.registers}",
+            f"RAM bits      : {self.ram_bits}",
+            f"power         : {self.total_power_w:.2f} W "
+            f"(static {self.static_power_w:.2f} + dynamic {self.dynamic_power_w:.2f})",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass
+class FPGAEmulationModel:
+    """Maps the ternary block inventory onto FPGA resources."""
+
+    device: str = "Intel Stratix-V"
+    frequency_mhz: float = 150.0
+    supply_voltage: float = 0.9
+    static_power_w: float = 0.82
+    #: Dynamic power per ALM per MHz at the default activity (measured-style
+    #: fitting constant for mid-size Stratix-V designs).
+    dynamic_w_per_alm_mhz: float = 2.2e-6
+    activity_factor: float = 0.125
+    alm_costs: Dict[str, float] = field(default_factory=lambda: dict(DEFAULT_ALM_COSTS))
+    memory: MemorySizing = field(default_factory=MemorySizing)
+
+    def estimate(self, blocks: Optional[List[DatapathBlock]] = None) -> FPGAResourceReport:
+        """Estimate the FPGA resources of ``blocks`` (default: ART-9 datapath)."""
+        blocks = blocks if blocks is not None else art9_datapath_netlist()
+
+        alms = 0.0
+        flipflop_trits = 0
+        for block in blocks:
+            for kind, count in block.gates.items():
+                alms += count * self.alm_costs[kind]
+                if kind == GateKind.FLIPFLOP:
+                    flipflop_trits += count
+
+        registers = 2 * flipflop_trits  # two bits per trit of state
+        ram_bits = self.memory.binary_encoded_bits()
+        dynamic = (
+            self.dynamic_w_per_alm_mhz
+            * alms
+            * self.frequency_mhz
+            * (self.activity_factor / 0.125)
+        )
+        return FPGAResourceReport(
+            device=self.device,
+            frequency_mhz=self.frequency_mhz,
+            alms=int(round(alms)),
+            registers=registers,
+            ram_bits=ram_bits,
+            static_power_w=self.static_power_w,
+            dynamic_power_w=dynamic,
+        )
+
+
+def stratix_v_model() -> FPGAEmulationModel:
+    """The Stratix-V configuration used for Table V (150 MHz, 256-word memories)."""
+    return FPGAEmulationModel()

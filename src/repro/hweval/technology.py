@@ -1,0 +1,94 @@
+"""Technology property descriptions for the gate-level analyzer.
+
+The paper's gate-level analyzer takes "the property description of the
+design technology ... which includes delay and power characteristics of
+primitive building blocks" as a separate input, so that the same ART-9
+netlist can be evaluated on CNTFET ternary gates, CMOS-based ternary
+transistors, or a binary FPGA emulation.  :class:`TechnologyLibrary` is that
+property description: a table of per-gate delay, switching energy and static
+power, plus the supply voltage the numbers were characterised at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+
+class GateKind:
+    """Names of the primitive ternary building blocks used by the netlist."""
+
+    STI = "STI"            # standard ternary inverter
+    NTI = "NTI"            # negative ternary inverter
+    PTI = "PTI"            # positive ternary inverter
+    AND = "TAND"           # two-input ternary AND (minimum)
+    OR = "TOR"             # two-input ternary OR (maximum)
+    XOR = "TXOR"           # two-input ternary XOR (carry-free sum)
+    HALF_ADDER = "THA"     # ternary half adder
+    FULL_ADDER = "TFA"     # ternary full adder
+    MUX = "TMUX"           # 2:1 ternary multiplexer
+    COMPARATOR = "TCMP"    # single-trit three-way comparator cell
+    FLIPFLOP = "TDFF"      # ternary D flip-flop (one trit of state)
+    DECODER = "TDEC"       # small decode cell (per control output)
+
+    ALL = (STI, NTI, PTI, AND, OR, XOR, HALF_ADDER, FULL_ADDER, MUX,
+           COMPARATOR, FLIPFLOP, DECODER)
+
+
+@dataclass(frozen=True)
+class GateProperties:
+    """Delay/energy/power characteristics of one primitive gate."""
+
+    delay_ps: float            # propagation delay in picoseconds
+    switching_energy_fj: float  # energy per output transition in femtojoules
+    static_power_nw: float      # static (leakage) power in nanowatts
+    transistor_count: int = 0   # informational, for area-style comparisons
+
+
+@dataclass
+class TechnologyLibrary:
+    """A named collection of gate properties at a given supply voltage."""
+
+    name: str
+    supply_voltage: float
+    gates: Dict[str, GateProperties] = field(default_factory=dict)
+    #: Average fraction of gates that toggle per clock cycle, used by the
+    #: dynamic-power estimate when no workload activity trace is available.
+    default_activity_factor: float = 0.15
+
+    def add_gate(self, kind: str, properties: GateProperties) -> None:
+        """Register (or replace) the properties of gate ``kind``."""
+        if kind not in GateKind.ALL:
+            raise ValueError(f"unknown gate kind {kind!r}")
+        self.gates[kind] = properties
+
+    def properties(self, kind: str) -> GateProperties:
+        """Look up the properties of gate ``kind``."""
+        try:
+            return self.gates[kind]
+        except KeyError:
+            raise KeyError(
+                f"technology {self.name!r} has no characterisation for gate {kind!r}"
+            ) from None
+
+    def missing_gates(self, kinds: Iterable[str]) -> list:
+        """Which of ``kinds`` have no characterisation in this library."""
+        return [kind for kind in kinds if kind not in self.gates]
+
+    def delay_ps(self, kind: str) -> float:
+        """Propagation delay of ``kind`` in picoseconds."""
+        return self.properties(kind).delay_ps
+
+    def describe(self) -> str:
+        """Human-readable table of the library contents."""
+        lines = [f"technology {self.name} @ {self.supply_voltage:.2f} V"]
+        lines.append(f"{'gate':8s} {'delay(ps)':>10s} {'E_sw(fJ)':>10s} {'P_st(nW)':>10s}")
+        for kind in GateKind.ALL:
+            if kind not in self.gates:
+                continue
+            props = self.gates[kind]
+            lines.append(
+                f"{kind:8s} {props.delay_ps:10.2f} {props.switching_energy_fj:10.3f} "
+                f"{props.static_power_nw:10.3f}"
+            )
+        return "\n".join(lines)

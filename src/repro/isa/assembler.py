@@ -1,0 +1,293 @@
+"""A two-pass assembler for the ART-9 assembly language.
+
+Syntax
+------
+
+::
+
+    # full-line comment
+    .text                     ; switch to the instruction section (default)
+    .data                     ; switch to the data section
+    loop:                     ; label definition
+        ADDI  T1, 5           ; instruction, operands comma separated
+        COMP  T1, T2
+        BEQ   T1, 0, done     ; branch target may be a label or an immediate
+        JAL   T8, subroutine
+        LOAD  T2, T7, -1
+        HALT
+    .data
+    array:  .word 5, -3, 8    ; initialised words
+    buffer: .zero 16          ; sixteen zero-initialised words
+
+Pseudo-instructions
+-------------------
+
+``NOP``
+    Expands to ``ADDI T0, 0`` (the paper's NOP convention, Sec. IV-B).
+``LIW Ta, value``
+    Load a full 9-trit constant; expands to a ``LUI``/``LI`` pair.
+``BEQZ Tb, target`` / ``BNEZ Tb, target``
+    Branch when the least significant trit of ``Tb`` is (not) zero.
+
+Labels used as branch/JAL targets resolve to PC-relative immediates; labels
+used in any other immediate position (``LIW``, ``LI``, ``LUI``, ``JALR``)
+resolve to the absolute instruction or data address.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from repro.isa.encoder import check_imm_fits
+from repro.isa.instructions import Instruction, spec_for
+from repro.isa.program import DataSegment, Program
+from repro.isa.registers import register_index
+from repro.ternary.conversion import trits_to_int
+from repro.ternary.word import WORD_TRITS, TernaryWord
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):\s*(.*)$")
+_COMMENT_RE = re.compile(r"[#;].*$")
+
+
+class AssemblerError(ValueError):
+    """Raised for any syntax or range error, with file/line context."""
+
+    def __init__(self, message: str, line_number: Optional[int] = None, line: str = ""):
+        location = f"line {line_number}: " if line_number is not None else ""
+        suffix = f"  [{line.strip()}]" if line else ""
+        super().__init__(f"{location}{message}{suffix}")
+        self.line_number = line_number
+
+
+def split_constant(value: int) -> tuple:
+    """Split a 9-trit constant into its (LUI, LI) immediates.
+
+    Returns ``(high, low)`` where ``high`` is the balanced value of trits
+    [8:5] and ``low`` the balanced value of trits [4:0]; executing
+    ``LUI Ta, high`` followed by ``LI Ta, low`` reconstructs ``value``.
+    """
+    word = TernaryWord(value, WORD_TRITS)
+    high = trits_to_int(word.trits[5:])
+    low = trits_to_int(word.trits[:5])
+    return high, low
+
+
+def _parse_int(token: str, line_number: int, line: str) -> int:
+    token = token.strip()
+    try:
+        if token.lower().startswith("0t"):
+            # Balanced ternary literal, most significant trit first (e.g. 0t1T0).
+            trits = [
+                {"T": -1, "t": -1, "-": -1, "0": 0, "1": 1, "+": 1}[ch]
+                for ch in reversed(token[2:])
+            ]
+            return trits_to_int(trits)
+        return int(token, 0)
+    except (ValueError, KeyError):
+        raise AssemblerError(f"bad integer literal {token!r}", line_number, line) from None
+
+
+class _Assembler:
+    """Internal single-use assembler state."""
+
+    def __init__(self, name: str):
+        self.program = Program(name=name)
+        self.section = ".text"
+        self.data_values: List[int] = []
+        self.pending_data_labels: List[str] = []
+
+    # -- data section -----------------------------------------------------
+
+    def _define_data_label(self, label: str) -> None:
+        self.program.data_labels[label] = len(self.data_values)
+
+    def _handle_data_directive(self, directive: str, rest: str, line_number: int, line: str) -> None:
+        if directive == ".word":
+            values = [
+                _parse_int(tok, line_number, line)
+                for tok in rest.split(",")
+                if tok.strip()
+            ]
+            if not values:
+                raise AssemblerError(".word needs at least one value", line_number, line)
+            self.data_values.extend(values)
+        elif directive == ".zero":
+            count = _parse_int(rest, line_number, line)
+            if count < 0:
+                raise AssemblerError(".zero count must be non-negative", line_number, line)
+            self.data_values.extend([0] * count)
+        else:
+            raise AssemblerError(f"unknown data directive {directive!r}", line_number, line)
+
+    # -- text section -----------------------------------------------------
+
+    def _operand_register(self, token: str, line_number: int, line: str) -> int:
+        try:
+            return register_index(token)
+        except ValueError as exc:
+            raise AssemblerError(str(exc), line_number, line) from None
+
+    def _operand_imm_or_label(self, token: str, line_number: int, line: str):
+        token = token.strip()
+        if re.match(r"^-?(0[xXbBoOtT])?[\w]+$", token) and re.match(r"^-?\d|^-?0[xXbBoOtT]", token):
+            return _parse_int(token, line_number, line), None
+        return None, token
+
+    def _emit(self, instruction: Instruction) -> None:
+        self.program.append(instruction)
+
+    def _handle_instruction(self, mnemonic: str, operand_text: str, line_number: int, line: str) -> None:
+        operands = [tok.strip() for tok in operand_text.split(",") if tok.strip()] if operand_text else []
+        mnemonic = mnemonic.upper()
+
+        # Pseudo-instructions expand here, before label addresses are fixed.
+        if mnemonic == "NOP":
+            if operands:
+                raise AssemblerError("NOP takes no operands", line_number, line)
+            self._emit(Instruction.nop())
+            return
+        if mnemonic == "LIW":
+            if len(operands) != 2:
+                raise AssemblerError("LIW takes a register and a value", line_number, line)
+            ta = self._operand_register(operands[0], line_number, line)
+            imm, label = self._operand_imm_or_label(operands[1], line_number, line)
+            if label is not None:
+                # Absolute address of a label; resolved after the first pass.
+                self._emit(Instruction("LUI", ta=ta, imm=None, label=f"%hi:{label}"))
+                self._emit(Instruction("LI", ta=ta, imm=None, label=f"%lo:{label}"))
+            else:
+                high, low = split_constant(imm)
+                self._emit(Instruction("LUI", ta=ta, imm=high))
+                self._emit(Instruction("LI", ta=ta, imm=low))
+            return
+        if mnemonic in ("BEQZ", "BNEZ"):
+            if len(operands) != 2:
+                raise AssemblerError(f"{mnemonic} takes a register and a target", line_number, line)
+            tb = self._operand_register(operands[0], line_number, line)
+            imm, label = self._operand_imm_or_label(operands[1], line_number, line)
+            real = "BEQ" if mnemonic == "BEQZ" else "BNE"
+            self._emit(Instruction(real, tb=tb, branch_trit=0, imm=imm, label=label))
+            return
+
+        try:
+            spec = spec_for(mnemonic)
+        except ValueError as exc:
+            raise AssemblerError(str(exc), line_number, line) from None
+
+        if len(operands) != len(spec.operands):
+            raise AssemblerError(
+                f"{mnemonic} expects {len(spec.operands)} operands, got {len(operands)}",
+                line_number,
+                line,
+            )
+
+        fields = {}
+        for kind, token in zip(spec.operands, operands):
+            if kind in ("ta", "tb"):
+                fields[kind] = self._operand_register(token, line_number, line)
+            elif kind == "branch_trit":
+                value = _parse_int(token, line_number, line)
+                if value not in (-1, 0, 1):
+                    raise AssemblerError("branch trit must be -1, 0 or 1", line_number, line)
+                fields[kind] = value
+            elif kind == "imm":
+                imm, label = self._operand_imm_or_label(token, line_number, line)
+                if label is not None:
+                    fields["label"] = label
+                else:
+                    if not check_imm_fits(mnemonic, imm):
+                        raise AssemblerError(
+                            f"immediate {imm} out of range for {mnemonic}", line_number, line
+                        )
+                    fields[kind] = imm
+        self._emit(Instruction(mnemonic, **fields))
+
+    # -- driver -------------------------------------------------------------
+
+    def run(self, text: str) -> Program:
+        for line_number, raw_line in enumerate(text.splitlines(), start=1):
+            line = _COMMENT_RE.sub("", raw_line).strip()
+            if not line:
+                continue
+
+            match = _LABEL_RE.match(line)
+            while match:
+                label, line = match.group(1), match.group(2).strip()
+                if self.section == ".text":
+                    self.program.add_label(label)
+                else:
+                    self._define_data_label(label)
+                match = _LABEL_RE.match(line) if line else None
+            if not line:
+                continue
+
+            if line.startswith("."):
+                parts = line.split(None, 1)
+                directive = parts[0].lower()
+                rest = parts[1] if len(parts) > 1 else ""
+                if directive in (".text", ".data"):
+                    self.section = directive
+                elif self.section == ".data":
+                    self._handle_data_directive(directive, rest, line_number, raw_line)
+                else:
+                    raise AssemblerError(
+                        f"directive {directive!r} is only valid in .data", line_number, raw_line
+                    )
+                continue
+
+            if self.section == ".data":
+                raise AssemblerError(
+                    "instructions are not allowed in the .data section", line_number, raw_line
+                )
+
+            parts = line.split(None, 1)
+            mnemonic = parts[0]
+            operand_text = parts[1] if len(parts) > 1 else ""
+            self._handle_instruction(mnemonic, operand_text, line_number, raw_line)
+
+        if self.data_values:
+            self.program.data.append(DataSegment(base_address=0, values=list(self.data_values)))
+        self._resolve()
+        return self.program
+
+    def _resolve(self) -> None:
+        """Resolve labels, including the %hi/%lo references of LIW."""
+        program = self.program
+        for address, instruction in enumerate(program.instructions):
+            label = instruction.label
+            if label is None:
+                continue
+            if label.startswith("%hi:") or label.startswith("%lo:"):
+                kind, _, target_name = label.partition(":")
+                if target_name in program.labels:
+                    target = program.labels[target_name]
+                elif target_name in program.data_labels:
+                    target = program.data_labels[target_name]
+                else:
+                    raise AssemblerError(f"undefined label {target_name!r}")
+                high, low = split_constant(target)
+                instruction.imm = high if kind == "%hi" else low
+                instruction.label = None
+        try:
+            program.resolve_labels()
+        except ValueError as exc:
+            raise AssemblerError(str(exc)) from None
+        for address, instruction in enumerate(program.instructions):
+            if instruction.imm is not None and not check_imm_fits(instruction.mnemonic, instruction.imm):
+                raise AssemblerError(
+                    f"resolved immediate {instruction.imm} of {instruction.mnemonic} at address "
+                    f"{address} does not fit its field (branch target too far?)"
+                )
+
+
+def assemble(text: str, name: str = "program") -> Program:
+    """Assemble ART-9 assembly ``text`` into a :class:`Program`."""
+    return _Assembler(name).run(text)
+
+
+def assemble_file(path: str, name: Optional[str] = None) -> Program:
+    """Assemble the file at ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return assemble(text, name=name or path)

@@ -1,0 +1,99 @@
+"""Decoding of 9-trit instruction words back into :class:`Instruction`.
+
+The decoder mirrors the main decoder of the ID pipeline stage: it inspects
+the major opcode in trits [8:7], then the sub/funct fields where applicable,
+and extracts the operand fields.  It is used by the disassembler, by both
+simulators (which execute decoded instructions) and by round-trip encoding
+tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.isa.formats import ENCODING_TABLE, EncodingEntry
+from repro.isa.instructions import Instruction, spec_for
+from repro.isa.registers import field_to_index
+from repro.ternary.word import TernaryWord
+
+
+class DecodeError(ValueError):
+    """Raised when a trit pattern does not correspond to a legal instruction."""
+
+
+def _field_value(word: TernaryWord, field: Optional[Tuple[int, int]]) -> Optional[int]:
+    if field is None:
+        return None
+    hi, lo = field
+    return word.slice(hi, lo).value
+
+
+def _build_decode_index() -> Dict[Tuple[int, Optional[int], Optional[int]], EncodingEntry]:
+    """Index encoding entries by (major, sub, funct) for fast lookup."""
+    index: Dict[Tuple[int, Optional[int], Optional[int]], EncodingEntry] = {}
+    for entry in ENCODING_TABLE.values():
+        key = (entry.major, entry.sub, entry.funct)
+        if key in index:
+            raise RuntimeError(f"ambiguous encoding: {key} used twice")
+        index[key] = entry
+    return index
+
+
+_DECODE_INDEX = _build_decode_index()
+
+
+def decode_instruction(word: TernaryWord) -> Instruction:
+    """Decode a 9-trit instruction word into an :class:`Instruction`.
+
+    Raises :class:`DecodeError` for patterns whose major/sub/funct fields do
+    not name any defined instruction.
+    """
+    if word.width != 9:
+        raise DecodeError(f"instruction words are 9 trits wide, got {word.width}")
+
+    major = word.slice(8, 7).value
+
+    # Probe the candidate entries for this major opcode.  Majors without
+    # sub/funct fields resolve immediately; EXT0/EXT1 need the sub and
+    # (usually) funct trits, whose positions depend on the sub-group, so the
+    # lookup walks every entry of the major and checks its own fields.
+    candidates = [e for e in ENCODING_TABLE.values() if e.major == major]
+    if not candidates:
+        raise DecodeError(f"unknown major opcode {major}")
+
+    entry = None
+    for candidate in candidates:
+        if candidate.sub is not None:
+            if _field_value(word, candidate.layout.sub) != candidate.sub:
+                continue
+        if candidate.funct is not None:
+            if _field_value(word, candidate.layout.funct) != candidate.funct:
+                continue
+        entry = candidate
+        break
+    if entry is None:
+        raise DecodeError(
+            f"no instruction matches major={major}, word={word} "
+            "(undefined sub/funct pattern)"
+        )
+
+    spec = spec_for(entry.mnemonic)
+    ta = tb = imm = branch_trit = None
+    if "ta" in spec.operands:
+        field = _field_value(word, entry.layout.ta)
+        try:
+            ta = field_to_index(field)
+        except ValueError as exc:
+            raise DecodeError(str(exc)) from None
+    if "tb" in spec.operands:
+        field = _field_value(word, entry.layout.tb)
+        try:
+            tb = field_to_index(field)
+        except ValueError as exc:
+            raise DecodeError(str(exc)) from None
+    if "imm" in spec.operands:
+        imm = _field_value(word, entry.layout.imm)
+    if "branch_trit" in spec.operands:
+        branch_trit = _field_value(word, entry.layout.branch_trit)
+
+    return Instruction(entry.mnemonic, ta=ta, tb=tb, imm=imm, branch_trit=branch_trit)

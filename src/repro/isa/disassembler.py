@@ -1,0 +1,30 @@
+"""Disassembly of encoded ART-9 instruction words back to assembly text."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.isa.decoder import decode_instruction
+from repro.isa.program import Program
+from repro.ternary.word import TernaryWord
+
+
+def disassemble(words: Iterable[TernaryWord]) -> List[str]:
+    """Disassemble a sequence of 9-trit instruction words to text lines."""
+    return [decode_instruction(word).render() for word in words]
+
+
+def disassemble_program(program: Program, with_addresses: bool = True) -> str:
+    """Round-trip a :class:`Program` through its encoding and render text.
+
+    Useful for verifying that encode/decode preserve every instruction and
+    for producing listings of translated programs.
+    """
+    lines = []
+    for address, word in enumerate(program.encode()):
+        text = decode_instruction(word).render()
+        if with_addresses:
+            lines.append(f"{address:4d}: {text}   ; {word}")
+        else:
+            lines.append(text)
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Encoding of :class:`~repro.isa.instructions.Instruction` to 9-trit words."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.isa.formats import INSTRUCTION_TRITS, encoding_for, imm_range
+from repro.isa.instructions import Instruction
+from repro.isa.registers import index_to_field
+from repro.ternary.conversion import int_to_trits
+from repro.ternary.word import TernaryWord
+
+
+class EncodeError(ValueError):
+    """Raised when an instruction cannot be encoded (operand out of range)."""
+
+
+def _place(trits: List[int], field: Optional[Tuple[int, int]], value: int, what: str) -> None:
+    """Write ``value`` as balanced trits into ``trits[lo..hi]``."""
+    if field is None:
+        raise EncodeError(f"instruction has no {what} field")
+    hi, lo = field
+    width = hi - lo + 1
+    half = (3 ** width - 1) // 2
+    if not -half <= value <= half:
+        raise EncodeError(f"{what} value {value} does not fit a {width}-trit field")
+    for offset, trit in enumerate(int_to_trits(value, width)):
+        trits[lo + offset] = trit
+
+
+def encode_instruction(instruction: Instruction) -> TernaryWord:
+    """Encode ``instruction`` into its 9-trit instruction word.
+
+    Raises :class:`EncodeError` when a register index or immediate does not
+    fit its field, or when a branch/jump still carries an unresolved label.
+    """
+    spec = instruction.spec
+    entry = encoding_for(instruction.mnemonic)
+    trits = [0] * INSTRUCTION_TRITS
+
+    # Major opcode in trits [8:7].
+    _place(trits, (8, 7), entry.major, "major opcode")
+    if entry.sub is not None:
+        _place(trits, entry.layout.sub, entry.sub, "sub opcode")
+    if entry.funct is not None:
+        _place(trits, entry.layout.funct, entry.funct, "funct")
+
+    if "ta" in spec.operands:
+        if instruction.ta is None:
+            raise EncodeError(f"{instruction.mnemonic} requires a Ta operand")
+        _place(trits, entry.layout.ta, index_to_field(instruction.ta), "Ta register")
+    if "tb" in spec.operands:
+        if instruction.tb is None:
+            raise EncodeError(f"{instruction.mnemonic} requires a Tb operand")
+        _place(trits, entry.layout.tb, index_to_field(instruction.tb), "Tb register")
+    if "branch_trit" in spec.operands:
+        if instruction.branch_trit is None:
+            raise EncodeError(f"{instruction.mnemonic} requires a branch trit operand")
+        if instruction.branch_trit not in (-1, 0, 1):
+            raise EncodeError(
+                f"branch trit must be -1, 0 or +1, got {instruction.branch_trit}"
+            )
+        _place(trits, entry.layout.branch_trit, instruction.branch_trit, "branch trit")
+    if "imm" in spec.operands:
+        if instruction.imm is None:
+            if instruction.label is not None:
+                raise EncodeError(
+                    f"unresolved label {instruction.label!r} in {instruction.mnemonic}"
+                )
+            raise EncodeError(f"{instruction.mnemonic} requires an immediate operand")
+        _place(trits, entry.layout.imm, instruction.imm, "immediate")
+
+    return TernaryWord(trits, INSTRUCTION_TRITS)
+
+
+def check_imm_fits(mnemonic: str, value: int) -> bool:
+    """True when ``value`` fits the immediate field of ``mnemonic``."""
+    lo, hi = imm_range(mnemonic)
+    return lo <= value <= hi

@@ -1,0 +1,207 @@
+"""Trit-level encoding formats of the ART-9 ISA.
+
+The paper fixes the instruction set (Table I) but not the trit-level
+encoding; this module documents and implements the encoding used throughout
+this repository.  Every instruction is 9 trits, numbered 8 (most
+significant) down to 0.
+
+Major opcode — trits [8:7] (balanced pair, value = 3*t8 + t7):
+
+=========  =====  =============================================================
+major      value  layout of trits [6:0]
+=========  =====  =============================================================
+LI          -4    Ta[6:5]  imm[4:0]
+JAL         -3    Ta[6:5]  imm[4:0]
+JALR        -2    Ta[6:5]  Tb[4:3]  imm[2:0]
+BEQ         -1    Tb[6:5]  B[4]     imm[3:0]
+BNE          0    Tb[6:5]  B[4]     imm[3:0]
+LOAD        +1    Ta[6:5]  Tb[4:3]  imm[2:0]
+STORE       +2    Ta[6:5]  Tb[4:3]  imm[2:0]
+EXT0        +3    sub[6] selects LUI / R-group-A / R-group-B (below)
+EXT1        +4    sub[6] selects SYS / IMM group / shift-IMM group (below)
+=========  =====  =============================================================
+
+EXT0 sub-groups (sub = trit [6]):
+
+* ``sub = -1`` → LUI:  Ta[5:4]  imm[3:0]
+* ``sub =  0`` → R-group-A: funct[5:4] ∈ {MV:-4, PTI:-3, NTI:-2, STI:-1,
+  AND:0, OR:+1, XOR:+2, ADD:+3, SUB:+4}, Ta[3:2], Tb[1:0]
+* ``sub = +1`` → R-group-B: funct[5:4] ∈ {SR:-1, SL:0, COMP:+1},
+  Ta[3:2], Tb[1:0]
+
+EXT1 sub-groups:
+
+* ``sub = -1`` → SYS: funct[5] ∈ {HALT:0}; remaining trits are zero
+* ``sub =  0`` → IMM group: funct[5] ∈ {ADDI:0, ANDI:+1}, Ta[4:3], imm[2:0]
+* ``sub = +1`` → shift-IMM group: funct[5] ∈ {SRI:0, SLI:+1}, Ta[4:3],
+  imm[2:0] (the architectural shift amount uses the low two trits)
+
+Register fields hold the balanced value ``index - 4`` so all nine registers
+T0..T8 are addressable from a 2-trit field.  Immediate fields hold signed
+balanced values of the stated width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+#: Instruction word width in trits.
+INSTRUCTION_TRITS = 9
+
+# Major opcode values (balanced value of trits [8:7]).
+MAJOR_LI = -4
+MAJOR_JAL = -3
+MAJOR_JALR = -2
+MAJOR_BEQ = -1
+MAJOR_BNE = 0
+MAJOR_LOAD = 1
+MAJOR_STORE = 2
+MAJOR_EXT0 = 3
+MAJOR_EXT1 = 4
+
+# EXT0 sub-opcode (trit [6]).
+EXT0_SUB_LUI = -1
+EXT0_SUB_RGROUP_A = 0
+EXT0_SUB_RGROUP_B = 1
+
+# EXT1 sub-opcode (trit [6]).
+EXT1_SUB_SYS = -1
+EXT1_SUB_IMM = 0
+EXT1_SUB_SHIFT_IMM = 1
+
+# funct values inside R-group-A (trits [5:4]).
+RGROUP_A_FUNCT = {
+    "MV": -4,
+    "PTI": -3,
+    "NTI": -2,
+    "STI": -1,
+    "AND": 0,
+    "OR": 1,
+    "XOR": 2,
+    "ADD": 3,
+    "SUB": 4,
+}
+
+# funct values inside R-group-B (trits [5:4]).
+RGROUP_B_FUNCT = {
+    "SR": -1,
+    "SL": 0,
+    "COMP": 1,
+}
+
+# funct values inside the EXT1 immediate group (trit [5]).
+IMM_GROUP_FUNCT = {
+    "ADDI": 0,
+    "ANDI": 1,
+}
+
+# funct values inside the EXT1 shift-immediate group (trit [5]).
+SHIFT_IMM_GROUP_FUNCT = {
+    "SRI": 0,
+    "SLI": 1,
+}
+
+# funct values inside the EXT1 system group (trit [5]).
+SYS_GROUP_FUNCT = {
+    "HALT": 0,
+}
+
+
+@dataclass(frozen=True)
+class FieldLayout:
+    """Positions of the operand fields of one encoding format.
+
+    Each entry is an inclusive ``(hi, lo)`` trit range, or ``None`` when the
+    instruction has no such field.
+    """
+
+    ta: Optional[Tuple[int, int]] = None
+    tb: Optional[Tuple[int, int]] = None
+    imm: Optional[Tuple[int, int]] = None
+    branch_trit: Optional[Tuple[int, int]] = None
+    funct: Optional[Tuple[int, int]] = None
+    sub: Optional[Tuple[int, int]] = None
+
+
+@dataclass(frozen=True)
+class EncodingEntry:
+    """The complete encoding recipe for one mnemonic."""
+
+    mnemonic: str
+    major: int
+    layout: FieldLayout
+    sub: Optional[int] = None
+    funct: Optional[int] = None
+
+
+def _entry(mnemonic, major, layout, sub=None, funct=None) -> EncodingEntry:
+    return EncodingEntry(mnemonic=mnemonic, major=major, layout=layout, sub=sub, funct=funct)
+
+
+_LONG_IMM_LAYOUT = FieldLayout(ta=(6, 5), imm=(4, 0))
+_REG_REG_IMM_LAYOUT = FieldLayout(ta=(6, 5), tb=(4, 3), imm=(2, 0))
+_BRANCH_LAYOUT = FieldLayout(tb=(6, 5), branch_trit=(4, 4), imm=(3, 0))
+_LUI_LAYOUT = FieldLayout(sub=(6, 6), ta=(5, 4), imm=(3, 0))
+_RGROUP_LAYOUT = FieldLayout(sub=(6, 6), funct=(5, 4), ta=(3, 2), tb=(1, 0))
+_EXT1_IMM_LAYOUT = FieldLayout(sub=(6, 6), funct=(5, 5), ta=(4, 3), imm=(2, 0))
+_SYS_LAYOUT = FieldLayout(sub=(6, 6), funct=(5, 5))
+
+
+def _build_encoding_table() -> Dict[str, EncodingEntry]:
+    table: Dict[str, EncodingEntry] = {}
+
+    def add(entry: EncodingEntry) -> None:
+        table[entry.mnemonic] = entry
+
+    add(_entry("LI", MAJOR_LI, _LONG_IMM_LAYOUT))
+    add(_entry("JAL", MAJOR_JAL, _LONG_IMM_LAYOUT))
+    add(_entry("JALR", MAJOR_JALR, _REG_REG_IMM_LAYOUT))
+    add(_entry("BEQ", MAJOR_BEQ, _BRANCH_LAYOUT))
+    add(_entry("BNE", MAJOR_BNE, _BRANCH_LAYOUT))
+    add(_entry("LOAD", MAJOR_LOAD, _REG_REG_IMM_LAYOUT))
+    add(_entry("STORE", MAJOR_STORE, _REG_REG_IMM_LAYOUT))
+    add(_entry("LUI", MAJOR_EXT0, _LUI_LAYOUT, sub=EXT0_SUB_LUI))
+
+    for mnemonic, funct in RGROUP_A_FUNCT.items():
+        add(_entry(mnemonic, MAJOR_EXT0, _RGROUP_LAYOUT, sub=EXT0_SUB_RGROUP_A, funct=funct))
+    for mnemonic, funct in RGROUP_B_FUNCT.items():
+        add(_entry(mnemonic, MAJOR_EXT0, _RGROUP_LAYOUT, sub=EXT0_SUB_RGROUP_B, funct=funct))
+    for mnemonic, funct in IMM_GROUP_FUNCT.items():
+        add(_entry(mnemonic, MAJOR_EXT1, _EXT1_IMM_LAYOUT, sub=EXT1_SUB_IMM, funct=funct))
+    for mnemonic, funct in SHIFT_IMM_GROUP_FUNCT.items():
+        add(_entry(mnemonic, MAJOR_EXT1, _EXT1_IMM_LAYOUT, sub=EXT1_SUB_SHIFT_IMM, funct=funct))
+    for mnemonic, funct in SYS_GROUP_FUNCT.items():
+        add(_entry(mnemonic, MAJOR_EXT1, _SYS_LAYOUT, sub=EXT1_SUB_SYS, funct=funct))
+
+    return table
+
+
+#: Encoding recipes keyed by mnemonic.
+ENCODING_TABLE: Dict[str, EncodingEntry] = _build_encoding_table()
+
+
+def encoding_for(mnemonic: str) -> EncodingEntry:
+    """Return the encoding recipe for ``mnemonic``."""
+    try:
+        return ENCODING_TABLE[mnemonic.upper()]
+    except KeyError:
+        raise ValueError(f"no encoding defined for mnemonic {mnemonic!r}") from None
+
+
+def imm_field_width(mnemonic: str) -> int:
+    """Width in trits of the immediate field of ``mnemonic`` (0 if none)."""
+    layout = encoding_for(mnemonic).layout
+    if layout.imm is None:
+        return 0
+    hi, lo = layout.imm
+    return hi - lo + 1
+
+
+def imm_range(mnemonic: str) -> Tuple[int, int]:
+    """Inclusive (lo, hi) range of the immediate field of ``mnemonic``."""
+    width = imm_field_width(mnemonic)
+    if width == 0:
+        return 0, 0
+    half = (3 ** width - 1) // 2
+    return -half, half

@@ -1,0 +1,157 @@
+"""The Program container: instructions + data segment + symbols.
+
+A :class:`Program` is what the assembler and the translation framework
+produce and what the simulators and the memory-footprint analyses consume.
+Instruction memory (TIM) addresses are word addresses: instruction ``i``
+lives at TIM address ``i``.  The data segment describes the initial contents
+of the ternary data memory (TDM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.isa.encoder import encode_instruction
+from repro.isa.instructions import Instruction
+from repro.ternary.word import WORD_TRITS, TernaryWord
+
+
+@dataclass
+class DataSegment:
+    """Initial TDM contents: a list of words placed at a base address."""
+
+    base_address: int = 0
+    values: List[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def words(self) -> List[TernaryWord]:
+        """The segment contents as ternary words."""
+        return [TernaryWord(v, WORD_TRITS) for v in self.values]
+
+
+@dataclass
+class Program:
+    """An assembled (or translated) ART-9 program.
+
+    Attributes
+    ----------
+    instructions:
+        The instruction sequence; index equals TIM word address.
+    labels:
+        Symbol table mapping label name to instruction address.
+    data:
+        Initial data-memory segments.
+    data_labels:
+        Symbol table for data labels (name → TDM word address).
+    name:
+        Human-readable program name, used in reports and benchmark tables.
+    """
+
+    instructions: List[Instruction] = field(default_factory=list)
+    labels: Dict[str, int] = field(default_factory=dict)
+    data: List[DataSegment] = field(default_factory=list)
+    data_labels: Dict[str, int] = field(default_factory=dict)
+    name: str = "program"
+
+    # -- container protocol --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+    # -- building --------------------------------------------------------------
+
+    def append(self, instruction: Instruction) -> None:
+        """Append one instruction at the next TIM address."""
+        self.instructions.append(instruction)
+
+    def extend(self, instructions: Iterable[Instruction]) -> None:
+        """Append several instructions."""
+        self.instructions.extend(instructions)
+
+    def add_label(self, name: str, address: Optional[int] = None) -> None:
+        """Define ``name`` at ``address`` (default: the next instruction)."""
+        if address is None:
+            address = len(self.instructions)
+        if name in self.labels and self.labels[name] != address:
+            raise ValueError(f"label {name!r} redefined")
+        self.labels[name] = address
+
+    # -- encoding / footprint --------------------------------------------------
+
+    def encode(self) -> List[TernaryWord]:
+        """Encode every instruction into its 9-trit word."""
+        return [encode_instruction(instruction) for instruction in self.instructions]
+
+    def instruction_memory_trits(self) -> int:
+        """Memory cells (trits) needed to store the program's instructions.
+
+        This is the quantity plotted in Fig. 5 of the paper: the number of
+        ternary memory cells holding the benchmark's code.
+        """
+        return len(self.instructions) * WORD_TRITS
+
+    def data_memory_trits(self) -> int:
+        """Memory cells (trits) needed for the statically initialised data."""
+        return sum(len(segment) for segment in self.data) * WORD_TRITS
+
+    def total_memory_trits(self) -> int:
+        """Total ternary memory cells for code plus initialised data."""
+        return self.instruction_memory_trits() + self.data_memory_trits()
+
+    # -- label resolution --------------------------------------------------------
+
+    def resolve_labels(self) -> None:
+        """Resolve symbolic branch/jump targets into concrete immediates.
+
+        Branch and JAL targets are PC-relative (``target - branch_address``);
+        JALR and LI/LUI label references resolve to absolute addresses.
+        Instructions whose immediate is already numeric are left untouched.
+        """
+        for address, instruction in enumerate(self.instructions):
+            if instruction.label is None:
+                continue
+            if instruction.label not in self.labels and instruction.label not in self.data_labels:
+                raise ValueError(
+                    f"undefined label {instruction.label!r} at address {address}"
+                )
+            if instruction.label in self.labels:
+                target = self.labels[instruction.label]
+            else:
+                target = self.data_labels[instruction.label]
+            spec = instruction.spec
+            if spec.is_branch or instruction.mnemonic == "JAL":
+                instruction.imm = target - address
+            else:
+                instruction.imm = target
+        # labels stay attached for provenance; encode() uses imm only.
+
+    def listing(self) -> str:
+        """Render an address-annotated assembly listing."""
+        address_to_labels: Dict[int, List[str]] = {}
+        for name, address in self.labels.items():
+            address_to_labels.setdefault(address, []).append(name)
+        lines: List[str] = []
+        for address, instruction in enumerate(self.instructions):
+            for label in sorted(address_to_labels.get(address, [])):
+                lines.append(f"{label}:")
+            lines.append(f"  {address:4d}: {instruction.render()}")
+        return "\n".join(lines)
+
+    def copy(self) -> "Program":
+        """Deep-enough copy for pass pipelines (instructions are copied)."""
+        return Program(
+            instructions=[instr.copy() for instr in self.instructions],
+            labels=dict(self.labels),
+            data=[DataSegment(seg.base_address, list(seg.values)) for seg in self.data],
+            data_labels=dict(self.data_labels),
+            name=self.name,
+        )

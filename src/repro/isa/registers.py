@@ -1,0 +1,72 @@
+"""The ternary register file name space.
+
+The ART-9 core has nine general-purposed ternary registers (T0..T8), each
+addressed by a 2-trit balanced value (Sec. IV-A).  The encoding used here
+maps register index ``i`` (0..8) to the balanced field value ``i - 4``
+(-4..+4), so all nine registers are reachable from the 2-trit field.
+
+The hardware treats every register identically; the *software* framework
+adopts an ABI convention (documented in :mod:`repro.xlate.regalloc`):
+
+======  =========================================
+T0      always-zero by convention (translator-maintained)
+T1-T5   allocatable general registers
+T6      assembler/translator scratch register
+T7      stack pointer
+T8      link register / secondary scratch
+======  =========================================
+"""
+
+from __future__ import annotations
+
+#: Number of general-purposed ternary registers in the TRF.
+NUM_REGISTERS = 9
+
+#: Canonical register names, index 0..8.
+REGISTER_NAMES = tuple(f"T{i}" for i in range(NUM_REGISTERS))
+
+#: ABI aliases accepted by the assembler.
+REGISTER_ALIASES = {
+    "ZERO": 0,
+    "SCRATCH": 6,
+    "SP": 7,
+    "LINK": 8,
+    "RA": 8,
+}
+
+#: Offset between the register index and its balanced 2-trit field value.
+FIELD_BIAS = 4
+
+
+def register_index(name: str) -> int:
+    """Parse a register name (``T0``..``T8`` or an ABI alias) to its index."""
+    key = name.strip().upper()
+    if key in REGISTER_ALIASES:
+        return REGISTER_ALIASES[key]
+    if key.startswith("T") and key[1:].isdigit():
+        index = int(key[1:])
+        if 0 <= index < NUM_REGISTERS:
+            return index
+    raise ValueError(f"unknown ternary register: {name!r}")
+
+
+def register_name(index: int) -> str:
+    """Return the canonical name of register ``index``."""
+    if not 0 <= index < NUM_REGISTERS:
+        raise ValueError(f"register index out of range 0..8: {index}")
+    return REGISTER_NAMES[index]
+
+
+def index_to_field(index: int) -> int:
+    """Map a register index 0..8 to its balanced 2-trit field value -4..+4."""
+    if not 0 <= index < NUM_REGISTERS:
+        raise ValueError(f"register index out of range 0..8: {index}")
+    return index - FIELD_BIAS
+
+
+def field_to_index(field_value: int) -> int:
+    """Map a balanced 2-trit field value -4..+4 back to a register index."""
+    index = field_value + FIELD_BIAS
+    if not 0 <= index < NUM_REGISTERS:
+        raise ValueError(f"register field value out of range -4..+4: {field_value}")
+    return index

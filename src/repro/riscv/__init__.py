@@ -1,0 +1,36 @@
+"""RV-32I substrate.
+
+The paper's software-level framework starts from the output of an existing
+RISC-V compiler.  Offline, that toolchain is replaced by this package: a
+model of the RV-32I ISA (plus the M-extension multiply/divide used by the
+PicoRV32 baseline), a two-pass assembler for the standard assembly syntax, a
+32-bit instruction encoder, and a functional simulator used both to validate
+workloads and to drive the baseline cycle models of Tables II and III.
+"""
+
+from repro.riscv.isa import (
+    RV_INSTRUCTION_SPECS,
+    RVInstruction,
+    RVInstructionSpec,
+    rv_spec_for,
+)
+from repro.riscv.registers import rv_register_index, rv_register_name
+from repro.riscv.program import RVProgram
+from repro.riscv.assembler import RVAssemblerError, assemble_riscv
+from repro.riscv.encoder import encode_rv_instruction
+from repro.riscv.simulator import RVExecutionResult, RVSimulator
+
+__all__ = [
+    "RVInstruction",
+    "RVInstructionSpec",
+    "RV_INSTRUCTION_SPECS",
+    "rv_spec_for",
+    "rv_register_index",
+    "rv_register_name",
+    "RVProgram",
+    "assemble_riscv",
+    "RVAssemblerError",
+    "encode_rv_instruction",
+    "RVSimulator",
+    "RVExecutionResult",
+]

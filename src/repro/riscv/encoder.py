@@ -1,0 +1,113 @@
+"""Encoding of RV-32 instructions into their 32-bit machine words.
+
+The encoder follows the standard RISC-V R/I/S/B/U/J field layouts.  It is
+used by round-trip tests and by the code-size analyses (which only need the
+fact that every base instruction occupies 32 bits, but benefit from a real
+encoder when dumping memory images).
+"""
+
+from __future__ import annotations
+
+from repro.riscv.isa import RVInstruction
+
+
+class RVEncodeError(ValueError):
+    """Raised when an operand does not fit its field."""
+
+
+def _check_range(value: int, lo: int, hi: int, what: str) -> int:
+    if not lo <= value <= hi:
+        raise RVEncodeError(f"{what} {value} out of range [{lo}, {hi}]")
+    return value
+
+
+def _reg(value, what: str) -> int:
+    if value is None:
+        raise RVEncodeError(f"missing {what} register")
+    return _check_range(value, 0, 31, what)
+
+
+def encode_rv_instruction(instruction: RVInstruction) -> int:
+    """Return the 32-bit machine word of ``instruction``."""
+    spec = instruction.spec
+    opcode = spec.opcode
+    fmt = spec.fmt
+    imm = instruction.imm or 0
+
+    if fmt == "R":
+        return (
+            (spec.funct7 << 25)
+            | (_reg(instruction.rs2, "rs2") << 20)
+            | (_reg(instruction.rs1, "rs1") << 15)
+            | (spec.funct3 << 12)
+            | (_reg(instruction.rd, "rd") << 7)
+            | opcode
+        )
+    if fmt == "I":
+        if instruction.mnemonic in ("slli", "srli", "srai"):
+            _check_range(imm, 0, 31, "shift amount")
+            imm_field = (spec.funct7 << 5) | imm
+        else:
+            _check_range(imm, -2048, 2047, "I-type immediate")
+            imm_field = imm & 0xFFF
+        return (
+            (imm_field << 20)
+            | (_reg(instruction.rs1, "rs1") << 15)
+            | (spec.funct3 << 12)
+            | (_reg(instruction.rd, "rd") << 7)
+            | opcode
+        )
+    if fmt == "S":
+        _check_range(imm, -2048, 2047, "S-type immediate")
+        imm_field = imm & 0xFFF
+        return (
+            ((imm_field >> 5) << 25)
+            | (_reg(instruction.rs2, "rs2") << 20)
+            | (_reg(instruction.rs1, "rs1") << 15)
+            | (spec.funct3 << 12)
+            | ((imm_field & 0x1F) << 7)
+            | opcode
+        )
+    if fmt == "B":
+        _check_range(imm, -4096, 4094, "branch offset")
+        if imm % 2 != 0:
+            raise RVEncodeError(f"branch offset must be even, got {imm}")
+        imm_field = imm & 0x1FFF
+        bit12 = (imm_field >> 12) & 0x1
+        bit11 = (imm_field >> 11) & 0x1
+        bits10_5 = (imm_field >> 5) & 0x3F
+        bits4_1 = (imm_field >> 1) & 0xF
+        return (
+            (bit12 << 31)
+            | (bits10_5 << 25)
+            | (_reg(instruction.rs2, "rs2") << 20)
+            | (_reg(instruction.rs1, "rs1") << 15)
+            | (spec.funct3 << 12)
+            | (bits4_1 << 8)
+            | (bit11 << 7)
+            | opcode
+        )
+    if fmt == "U":
+        _check_range(imm, 0, 0xFFFFF, "U-type immediate")
+        return (imm << 12) | (_reg(instruction.rd, "rd") << 7) | opcode
+    if fmt == "J":
+        _check_range(imm, -(1 << 20), (1 << 20) - 2, "jump offset")
+        if imm % 2 != 0:
+            raise RVEncodeError(f"jump offset must be even, got {imm}")
+        imm_field = imm & 0x1FFFFF
+        bit20 = (imm_field >> 20) & 0x1
+        bits10_1 = (imm_field >> 1) & 0x3FF
+        bit11 = (imm_field >> 11) & 0x1
+        bits19_12 = (imm_field >> 12) & 0xFF
+        return (
+            (bit20 << 31)
+            | (bits10_1 << 21)
+            | (bit11 << 20)
+            | (bits19_12 << 12)
+            | (_reg(instruction.rd, "rd") << 7)
+            | opcode
+        )
+    if fmt == "SYS":
+        funct12 = 0 if instruction.mnemonic == "ecall" else 1
+        return (funct12 << 20) | opcode
+    raise RVEncodeError(f"unhandled format {fmt!r}")

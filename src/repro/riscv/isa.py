@@ -1,0 +1,209 @@
+"""RV-32I (plus M-extension multiply/divide) instruction definitions.
+
+Only the user-level integer instructions needed by the benchmarks and by the
+translation framework are modelled: the full RV-32I base set (loads/stores,
+ALU register/immediate forms, branches, jumps, LUI/AUIPC) and the MUL/DIV
+group of the M extension used by the PicoRV32 RV-32IM baseline of Table II.
+CSR and fence instructions are outside the scope of the benchmarks and are
+not modelled; ECALL/EBREAK terminate simulation (they play the role of the
+ART-9 HALT extension).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.riscv.registers import rv_register_name
+
+# Instruction format classes (standard RISC-V nomenclature).
+FORMAT_R = "R"
+FORMAT_I = "I"
+FORMAT_S = "S"
+FORMAT_B = "B"
+FORMAT_U = "U"
+FORMAT_J = "J"
+FORMAT_SYS = "SYS"
+
+
+@dataclass(frozen=True)
+class RVInstructionSpec:
+    """Static description of one RV-32 instruction."""
+
+    mnemonic: str
+    fmt: str
+    opcode: int
+    funct3: Optional[int] = None
+    funct7: Optional[int] = None
+    is_load: bool = False
+    is_store: bool = False
+    is_branch: bool = False
+    is_jump: bool = False
+    is_mul_div: bool = False
+    description: str = ""
+
+    @property
+    def writes_rd(self) -> bool:
+        """True when the instruction writes a destination register."""
+        return self.fmt in (FORMAT_R, FORMAT_I, FORMAT_U, FORMAT_J)
+
+    @property
+    def reads_rs1(self) -> bool:
+        """True when the instruction reads rs1."""
+        return self.fmt in (FORMAT_R, FORMAT_I, FORMAT_S, FORMAT_B)
+
+    @property
+    def reads_rs2(self) -> bool:
+        """True when the instruction reads rs2."""
+        return self.fmt in (FORMAT_R, FORMAT_S, FORMAT_B)
+
+
+RV_INSTRUCTION_SPECS: Dict[str, RVInstructionSpec] = {}
+
+
+def _register(spec: RVInstructionSpec) -> None:
+    RV_INSTRUCTION_SPECS[spec.mnemonic] = spec
+
+
+# -- U / J type ----------------------------------------------------------------
+_register(RVInstructionSpec("lui", FORMAT_U, 0b0110111, description="rd = imm << 12"))
+_register(RVInstructionSpec("auipc", FORMAT_U, 0b0010111, description="rd = pc + (imm << 12)"))
+_register(RVInstructionSpec("jal", FORMAT_J, 0b1101111, is_jump=True, description="rd = pc+4; pc += imm"))
+
+# -- I type --------------------------------------------------------------------
+_register(RVInstructionSpec("jalr", FORMAT_I, 0b1100111, funct3=0b000, is_jump=True,
+                            description="rd = pc+4; pc = rs1 + imm"))
+_register(RVInstructionSpec("lb", FORMAT_I, 0b0000011, funct3=0b000, is_load=True))
+_register(RVInstructionSpec("lh", FORMAT_I, 0b0000011, funct3=0b001, is_load=True))
+_register(RVInstructionSpec("lw", FORMAT_I, 0b0000011, funct3=0b010, is_load=True))
+_register(RVInstructionSpec("lbu", FORMAT_I, 0b0000011, funct3=0b100, is_load=True))
+_register(RVInstructionSpec("lhu", FORMAT_I, 0b0000011, funct3=0b101, is_load=True))
+_register(RVInstructionSpec("addi", FORMAT_I, 0b0010011, funct3=0b000))
+_register(RVInstructionSpec("slti", FORMAT_I, 0b0010011, funct3=0b010))
+_register(RVInstructionSpec("sltiu", FORMAT_I, 0b0010011, funct3=0b011))
+_register(RVInstructionSpec("xori", FORMAT_I, 0b0010011, funct3=0b100))
+_register(RVInstructionSpec("ori", FORMAT_I, 0b0010011, funct3=0b110))
+_register(RVInstructionSpec("andi", FORMAT_I, 0b0010011, funct3=0b111))
+_register(RVInstructionSpec("slli", FORMAT_I, 0b0010011, funct3=0b001, funct7=0b0000000))
+_register(RVInstructionSpec("srli", FORMAT_I, 0b0010011, funct3=0b101, funct7=0b0000000))
+_register(RVInstructionSpec("srai", FORMAT_I, 0b0010011, funct3=0b101, funct7=0b0100000))
+
+# -- S type --------------------------------------------------------------------
+_register(RVInstructionSpec("sb", FORMAT_S, 0b0100011, funct3=0b000, is_store=True))
+_register(RVInstructionSpec("sh", FORMAT_S, 0b0100011, funct3=0b001, is_store=True))
+_register(RVInstructionSpec("sw", FORMAT_S, 0b0100011, funct3=0b010, is_store=True))
+
+# -- B type --------------------------------------------------------------------
+_register(RVInstructionSpec("beq", FORMAT_B, 0b1100011, funct3=0b000, is_branch=True))
+_register(RVInstructionSpec("bne", FORMAT_B, 0b1100011, funct3=0b001, is_branch=True))
+_register(RVInstructionSpec("blt", FORMAT_B, 0b1100011, funct3=0b100, is_branch=True))
+_register(RVInstructionSpec("bge", FORMAT_B, 0b1100011, funct3=0b101, is_branch=True))
+_register(RVInstructionSpec("bltu", FORMAT_B, 0b1100011, funct3=0b110, is_branch=True))
+_register(RVInstructionSpec("bgeu", FORMAT_B, 0b1100011, funct3=0b111, is_branch=True))
+
+# -- R type --------------------------------------------------------------------
+_register(RVInstructionSpec("add", FORMAT_R, 0b0110011, funct3=0b000, funct7=0b0000000))
+_register(RVInstructionSpec("sub", FORMAT_R, 0b0110011, funct3=0b000, funct7=0b0100000))
+_register(RVInstructionSpec("sll", FORMAT_R, 0b0110011, funct3=0b001, funct7=0b0000000))
+_register(RVInstructionSpec("slt", FORMAT_R, 0b0110011, funct3=0b010, funct7=0b0000000))
+_register(RVInstructionSpec("sltu", FORMAT_R, 0b0110011, funct3=0b011, funct7=0b0000000))
+_register(RVInstructionSpec("xor", FORMAT_R, 0b0110011, funct3=0b100, funct7=0b0000000))
+_register(RVInstructionSpec("srl", FORMAT_R, 0b0110011, funct3=0b101, funct7=0b0000000))
+_register(RVInstructionSpec("sra", FORMAT_R, 0b0110011, funct3=0b101, funct7=0b0100000))
+_register(RVInstructionSpec("or", FORMAT_R, 0b0110011, funct3=0b110, funct7=0b0000000))
+_register(RVInstructionSpec("and", FORMAT_R, 0b0110011, funct3=0b111, funct7=0b0000000))
+
+# -- M extension ---------------------------------------------------------------
+_register(RVInstructionSpec("mul", FORMAT_R, 0b0110011, funct3=0b000, funct7=0b0000001, is_mul_div=True))
+_register(RVInstructionSpec("mulh", FORMAT_R, 0b0110011, funct3=0b001, funct7=0b0000001, is_mul_div=True))
+_register(RVInstructionSpec("mulhu", FORMAT_R, 0b0110011, funct3=0b011, funct7=0b0000001, is_mul_div=True))
+_register(RVInstructionSpec("div", FORMAT_R, 0b0110011, funct3=0b100, funct7=0b0000001, is_mul_div=True))
+_register(RVInstructionSpec("divu", FORMAT_R, 0b0110011, funct3=0b101, funct7=0b0000001, is_mul_div=True))
+_register(RVInstructionSpec("rem", FORMAT_R, 0b0110011, funct3=0b110, funct7=0b0000001, is_mul_div=True))
+_register(RVInstructionSpec("remu", FORMAT_R, 0b0110011, funct3=0b111, funct7=0b0000001, is_mul_div=True))
+
+# -- system --------------------------------------------------------------------
+_register(RVInstructionSpec("ecall", FORMAT_SYS, 0b1110011, funct3=0b000,
+                            description="terminate simulation"))
+_register(RVInstructionSpec("ebreak", FORMAT_SYS, 0b1110011, funct3=0b000,
+                            description="terminate simulation"))
+
+
+def rv_spec_for(mnemonic: str) -> RVInstructionSpec:
+    """Look up the spec for ``mnemonic`` (case-insensitive)."""
+    try:
+        return RV_INSTRUCTION_SPECS[mnemonic.lower()]
+    except KeyError:
+        raise ValueError(f"unknown RV-32 instruction: {mnemonic!r}") from None
+
+
+@dataclass
+class RVInstruction:
+    """One RV-32 instruction instance (rd/rs1/rs2 are register numbers)."""
+
+    mnemonic: str
+    rd: Optional[int] = None
+    rs1: Optional[int] = None
+    rs2: Optional[int] = None
+    imm: Optional[int] = None
+    label: Optional[str] = None
+    source: Optional[str] = None
+
+    def __post_init__(self):
+        self.mnemonic = self.mnemonic.lower()
+        self.spec  # validates
+
+    @property
+    def spec(self) -> RVInstructionSpec:
+        """The static spec of this instruction's mnemonic."""
+        return rv_spec_for(self.mnemonic)
+
+    def destination(self) -> Optional[int]:
+        """Destination register (never x0 — writes to x0 are discarded)."""
+        if self.spec.writes_rd and self.rd not in (None, 0):
+            return self.rd
+        return None
+
+    def sources(self) -> Tuple[int, ...]:
+        """Registers read by this instruction."""
+        spec = self.spec
+        out = []
+        if spec.reads_rs1 and self.rs1 is not None:
+            out.append(self.rs1)
+        if spec.reads_rs2 and self.rs2 is not None:
+            out.append(self.rs2)
+        return tuple(out)
+
+    def render(self) -> str:
+        """Render back to (register-numbered) assembly text."""
+        spec = self.spec
+        fmt = spec.fmt
+        if fmt == FORMAT_R:
+            return f"{self.mnemonic} {rv_register_name(self.rd)}, {rv_register_name(self.rs1)}, {rv_register_name(self.rs2)}"
+        if fmt == FORMAT_I:
+            if spec.is_load or self.mnemonic == "jalr":
+                return f"{self.mnemonic} {rv_register_name(self.rd)}, {self.imm}({rv_register_name(self.rs1)})"
+            return f"{self.mnemonic} {rv_register_name(self.rd)}, {rv_register_name(self.rs1)}, {self.imm}"
+        if fmt == FORMAT_S:
+            return f"{self.mnemonic} {rv_register_name(self.rs2)}, {self.imm}({rv_register_name(self.rs1)})"
+        if fmt == FORMAT_B:
+            target = self.label if self.label else str(self.imm)
+            return f"{self.mnemonic} {rv_register_name(self.rs1)}, {rv_register_name(self.rs2)}, {target}"
+        if fmt == FORMAT_U:
+            return f"{self.mnemonic} {rv_register_name(self.rd)}, {self.imm}"
+        if fmt == FORMAT_J:
+            target = self.label if self.label else str(self.imm)
+            return f"{self.mnemonic} {rv_register_name(self.rd)}, {target}"
+        return self.mnemonic
+
+    def __str__(self) -> str:
+        return self.render()
+
+    def copy(self, **overrides) -> "RVInstruction":
+        """Return a copy with selected fields replaced."""
+        values = dict(
+            mnemonic=self.mnemonic, rd=self.rd, rs1=self.rs1, rs2=self.rs2,
+            imm=self.imm, label=self.label, source=self.source,
+        )
+        values.update(overrides)
+        return RVInstruction(**values)

@@ -1,0 +1,33 @@
+"""RV-32I register names (x0..x31 and their ABI aliases)."""
+
+from __future__ import annotations
+
+#: ABI register names indexed by register number.
+ABI_NAMES = (
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+    "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+    "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+)
+
+_NAME_TO_INDEX = {name: index for index, name in enumerate(ABI_NAMES)}
+_NAME_TO_INDEX["fp"] = 8  # frame pointer alias of s0
+
+
+def rv_register_index(name: str) -> int:
+    """Parse ``x<N>`` or an ABI name into a register number 0..31."""
+    key = name.strip().lower()
+    if key in _NAME_TO_INDEX:
+        return _NAME_TO_INDEX[key]
+    if key.startswith("x") and key[1:].isdigit():
+        index = int(key[1:])
+        if 0 <= index < 32:
+            return index
+    raise ValueError(f"unknown RISC-V register: {name!r}")
+
+
+def rv_register_name(index: int, abi: bool = True) -> str:
+    """Return the ABI (default) or numeric name of register ``index``."""
+    if not 0 <= index < 32:
+        raise ValueError(f"register index out of range 0..31: {index}")
+    return ABI_NAMES[index] if abi else f"x{index}"

@@ -1,0 +1,311 @@
+"""Functional simulator for RV-32I (+M) programs.
+
+The simulator executes architectural semantics only (no pipeline); the
+baseline cycle models of :mod:`repro.baselines` attach per-instruction cycle
+costs to its execution trace.  Memory is a Harvard-style byte-addressed data
+memory separate from the instruction stream, mirroring the TIM/TDM split of
+the ART-9 core so the translated programs see the same address space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.riscv.isa import RVInstruction
+from repro.riscv.program import RVProgram
+from repro.riscv.registers import ABI_NAMES
+
+_MASK32 = 0xFFFFFFFF
+
+
+def to_signed32(value: int) -> int:
+    """Interpret the low 32 bits of ``value`` as a signed integer."""
+    value &= _MASK32
+    return value - 0x100000000 if value >= 0x80000000 else value
+
+
+def to_unsigned32(value: int) -> int:
+    """Interpret ``value`` as an unsigned 32-bit integer."""
+    return value & _MASK32
+
+
+class RVSimulationError(RuntimeError):
+    """Raised for bad PCs, unaligned accesses or runaway programs."""
+
+
+@dataclass
+class RVExecutionResult:
+    """Summary of one RV-32 functional simulation run."""
+
+    instructions_executed: int
+    halted: bool
+    registers: Dict[str, int]
+    pc: int
+    instruction_mix: Dict[str, int] = field(default_factory=dict)
+    executed_trace: List[str] = field(default_factory=list)
+
+    def register(self, name: str) -> int:
+        """Convenience accessor for a named register value."""
+        return self.registers[name.lower()]
+
+
+class RVSimulator:
+    """Architectural executor for :class:`~repro.riscv.program.RVProgram`."""
+
+    def __init__(self, program: RVProgram, memory_bytes: int = 1 << 20, record_trace: bool = False):
+        self.program = program
+        self.registers = [0] * 32
+        self.memory = bytearray(memory_bytes)
+        self.pc = 0
+        self.halted = False
+        self.instructions_executed = 0
+        self.instruction_mix: Dict[str, int] = {}
+        self.record_trace = record_trace
+        self.executed_trace: List[str] = []
+        # Per-class dynamic counts consumed by the baseline cycle models.
+        self.class_counts = {
+            "alu": 0, "load": 0, "store": 0, "branch_taken": 0,
+            "branch_not_taken": 0, "jump": 0, "mul_div": 0, "shift": 0, "system": 0,
+        }
+        self._load_data_segments()
+        # Conventional initial stack pointer: top of the data memory.
+        self.registers[2] = memory_bytes - 16
+
+    def _load_data_segments(self) -> None:
+        for segment in self.program.data:
+            for offset, value in enumerate(segment.values):
+                self.store_word(segment.base_address + 4 * offset, value)
+
+    # -- memory helpers -----------------------------------------------------------
+
+    def _check_address(self, address: int, size: int) -> int:
+        if address < 0 or address + size > len(self.memory):
+            raise RVSimulationError(f"data address {address:#x} out of range")
+        return address
+
+    def load_word(self, address: int) -> int:
+        """Load a signed 32-bit word (must be 4-byte aligned)."""
+        if address % 4 != 0:
+            raise RVSimulationError(f"misaligned word load at {address:#x}")
+        self._check_address(address, 4)
+        return to_signed32(int.from_bytes(self.memory[address:address + 4], "little"))
+
+    def store_word(self, address: int, value: int) -> None:
+        """Store a 32-bit word (must be 4-byte aligned)."""
+        if address % 4 != 0:
+            raise RVSimulationError(f"misaligned word store at {address:#x}")
+        self._check_address(address, 4)
+        self.memory[address:address + 4] = (value & _MASK32).to_bytes(4, "little")
+
+    def load_byte(self, address: int, signed: bool) -> int:
+        """Load one byte, sign- or zero-extended."""
+        self._check_address(address, 1)
+        value = self.memory[address]
+        if signed and value >= 0x80:
+            value -= 0x100
+        return value
+
+    def store_byte(self, address: int, value: int) -> None:
+        """Store the low byte of ``value``."""
+        self._check_address(address, 1)
+        self.memory[address] = value & 0xFF
+
+    def load_half(self, address: int, signed: bool) -> int:
+        """Load a 16-bit halfword, sign- or zero-extended."""
+        if address % 2 != 0:
+            raise RVSimulationError(f"misaligned halfword load at {address:#x}")
+        self._check_address(address, 2)
+        value = int.from_bytes(self.memory[address:address + 2], "little")
+        if signed and value >= 0x8000:
+            value -= 0x10000
+        return value
+
+    def store_half(self, address: int, value: int) -> None:
+        """Store the low 16 bits of ``value``."""
+        if address % 2 != 0:
+            raise RVSimulationError(f"misaligned halfword store at {address:#x}")
+        self._check_address(address, 2)
+        self.memory[address:address + 2] = (value & 0xFFFF).to_bytes(2, "little")
+
+    # -- register helpers -----------------------------------------------------------
+
+    def read_reg(self, index: int) -> int:
+        """Read register ``index`` (x0 always reads zero)."""
+        return 0 if index == 0 else to_signed32(self.registers[index])
+
+    def write_reg(self, index: int, value: int) -> None:
+        """Write register ``index`` (writes to x0 are discarded)."""
+        if index != 0:
+            self.registers[index] = to_signed32(value)
+
+    # -- execution ---------------------------------------------------------------------
+
+    def step(self) -> Optional[RVInstruction]:
+        """Execute one instruction; returns it, or None when halted."""
+        if self.halted:
+            return None
+        index = self.pc // 4
+        if self.pc % 4 != 0 or not 0 <= index < len(self.program.instructions):
+            raise RVSimulationError(
+                f"PC {self.pc:#x} outside program of {len(self.program.instructions)} instructions"
+            )
+        instruction = self.program.instructions[index]
+        self._execute(instruction)
+        self.instructions_executed += 1
+        self.instruction_mix[instruction.mnemonic] = self.instruction_mix.get(instruction.mnemonic, 0) + 1
+        if self.record_trace:
+            self.executed_trace.append(instruction.mnemonic)
+        return instruction
+
+    def _execute(self, instr: RVInstruction) -> None:
+        m = instr.mnemonic
+        spec = instr.spec
+        next_pc = self.pc + 4
+        rs1 = self.read_reg(instr.rs1) if instr.rs1 is not None else 0
+        rs2 = self.read_reg(instr.rs2) if instr.rs2 is not None else 0
+        imm = instr.imm if instr.imm is not None else 0
+
+        if spec.is_mul_div:
+            self.class_counts["mul_div"] += 1
+        elif spec.is_load:
+            self.class_counts["load"] += 1
+        elif spec.is_store:
+            self.class_counts["store"] += 1
+        elif spec.is_jump:
+            self.class_counts["jump"] += 1
+        elif m in ("sll", "srl", "sra", "slli", "srli", "srai"):
+            self.class_counts["shift"] += 1
+        elif spec.fmt == "SYS":
+            self.class_counts["system"] += 1
+        elif not spec.is_branch:
+            self.class_counts["alu"] += 1
+
+        if m == "lui":
+            self.write_reg(instr.rd, imm << 12)
+        elif m == "auipc":
+            self.write_reg(instr.rd, self.pc + (imm << 12))
+        elif m == "jal":
+            self.write_reg(instr.rd, self.pc + 4)
+            next_pc = self.pc + imm
+        elif m == "jalr":
+            target = (rs1 + imm) & ~1
+            self.write_reg(instr.rd, self.pc + 4)
+            next_pc = to_unsigned32(target)
+        elif spec.is_branch:
+            taken = {
+                "beq": rs1 == rs2,
+                "bne": rs1 != rs2,
+                "blt": rs1 < rs2,
+                "bge": rs1 >= rs2,
+                "bltu": to_unsigned32(rs1) < to_unsigned32(rs2),
+                "bgeu": to_unsigned32(rs1) >= to_unsigned32(rs2),
+            }[m]
+            if taken:
+                next_pc = self.pc + imm
+                self.class_counts["branch_taken"] += 1
+            else:
+                self.class_counts["branch_not_taken"] += 1
+        elif m == "lw":
+            self.write_reg(instr.rd, self.load_word(to_unsigned32(rs1 + imm)))
+        elif m == "lb":
+            self.write_reg(instr.rd, self.load_byte(to_unsigned32(rs1 + imm), signed=True))
+        elif m == "lbu":
+            self.write_reg(instr.rd, self.load_byte(to_unsigned32(rs1 + imm), signed=False))
+        elif m == "lh":
+            self.write_reg(instr.rd, self.load_half(to_unsigned32(rs1 + imm), signed=True))
+        elif m == "lhu":
+            self.write_reg(instr.rd, self.load_half(to_unsigned32(rs1 + imm), signed=False))
+        elif m == "sw":
+            self.store_word(to_unsigned32(rs1 + imm), rs2)
+        elif m == "sb":
+            self.store_byte(to_unsigned32(rs1 + imm), rs2)
+        elif m == "sh":
+            self.store_half(to_unsigned32(rs1 + imm), rs2)
+        elif m == "addi":
+            self.write_reg(instr.rd, rs1 + imm)
+        elif m == "slti":
+            self.write_reg(instr.rd, 1 if rs1 < imm else 0)
+        elif m == "sltiu":
+            self.write_reg(instr.rd, 1 if to_unsigned32(rs1) < to_unsigned32(imm) else 0)
+        elif m == "xori":
+            self.write_reg(instr.rd, rs1 ^ imm)
+        elif m == "ori":
+            self.write_reg(instr.rd, rs1 | imm)
+        elif m == "andi":
+            self.write_reg(instr.rd, rs1 & imm)
+        elif m == "slli":
+            self.write_reg(instr.rd, rs1 << (imm & 0x1F))
+        elif m == "srli":
+            self.write_reg(instr.rd, to_unsigned32(rs1) >> (imm & 0x1F))
+        elif m == "srai":
+            self.write_reg(instr.rd, rs1 >> (imm & 0x1F))
+        elif m == "add":
+            self.write_reg(instr.rd, rs1 + rs2)
+        elif m == "sub":
+            self.write_reg(instr.rd, rs1 - rs2)
+        elif m == "sll":
+            self.write_reg(instr.rd, rs1 << (rs2 & 0x1F))
+        elif m == "slt":
+            self.write_reg(instr.rd, 1 if rs1 < rs2 else 0)
+        elif m == "sltu":
+            self.write_reg(instr.rd, 1 if to_unsigned32(rs1) < to_unsigned32(rs2) else 0)
+        elif m == "xor":
+            self.write_reg(instr.rd, rs1 ^ rs2)
+        elif m == "srl":
+            self.write_reg(instr.rd, to_unsigned32(rs1) >> (rs2 & 0x1F))
+        elif m == "sra":
+            self.write_reg(instr.rd, rs1 >> (rs2 & 0x1F))
+        elif m == "or":
+            self.write_reg(instr.rd, rs1 | rs2)
+        elif m == "and":
+            self.write_reg(instr.rd, rs1 & rs2)
+        elif m == "mul":
+            self.write_reg(instr.rd, rs1 * rs2)
+        elif m == "mulh":
+            self.write_reg(instr.rd, (rs1 * rs2) >> 32)
+        elif m == "mulhu":
+            self.write_reg(instr.rd, (to_unsigned32(rs1) * to_unsigned32(rs2)) >> 32)
+        elif m == "div":
+            if rs2 == 0:
+                self.write_reg(instr.rd, -1)
+            else:
+                self.write_reg(instr.rd, int(rs1 / rs2))
+        elif m == "divu":
+            self.write_reg(instr.rd, 0xFFFFFFFF if rs2 == 0 else to_unsigned32(rs1) // to_unsigned32(rs2))
+        elif m == "rem":
+            if rs2 == 0:
+                self.write_reg(instr.rd, rs1)
+            else:
+                self.write_reg(instr.rd, rs1 - int(rs1 / rs2) * rs2)
+        elif m == "remu":
+            self.write_reg(instr.rd, rs1 if rs2 == 0 else to_unsigned32(rs1) % to_unsigned32(rs2))
+        elif m in ("ecall", "ebreak"):
+            self.halted = True
+        else:  # pragma: no cover - all modelled mnemonics handled above
+            raise RVSimulationError(f"unimplemented mnemonic {m!r}")
+
+        self.pc = next_pc
+
+    def run(self, max_instructions: int = 20_000_000) -> RVExecutionResult:
+        """Run until ECALL/EBREAK (or ``max_instructions``)."""
+        while not self.halted:
+            if self.instructions_executed >= max_instructions:
+                raise RVSimulationError(
+                    f"program did not halt within {max_instructions} instructions"
+                )
+            self.step()
+        registers = {f"x{i}": self.read_reg(i) for i in range(32)}
+        registers.update({ABI_NAMES[i]: self.read_reg(i) for i in range(32)})
+        return RVExecutionResult(
+            instructions_executed=self.instructions_executed,
+            halted=self.halted,
+            registers=registers,
+            pc=self.pc,
+            instruction_mix=dict(self.instruction_mix),
+            executed_trace=list(self.executed_trace),
+        )
+
+    def memory_words(self, base: int, count: int) -> List[int]:
+        """Read ``count`` consecutive words starting at byte address ``base``."""
+        return [self.load_word(base + 4 * i) for i in range(count)]

@@ -1,0 +1,37 @@
+"""ART-9 simulators and datapath component models.
+
+Two simulators are provided:
+
+``FunctionalSimulator``
+    Executes one instruction per step with architectural (ISA-level)
+    semantics.  It is the golden reference model used to validate the
+    pipeline and the translation framework.
+``PipelineSimulator`` (in :mod:`repro.sim.pipeline`)
+    The cycle-accurate model of the 5-stage ART-9 core of Fig. 4, including
+    the hazard detection unit, forwarding multiplexers and the early branch
+    resolution in ID.  This is the "cycle-accurate simulator" component of
+    the paper's hardware-level evaluation framework.
+
+Shared component models (ternary register file, TIM/TDM memories, the TALU)
+live in their own modules so that both simulators — and the gate-level
+analyzer, which counts their hardware resources — agree on the semantics.
+"""
+
+from repro.sim.memory import MemoryError_, TernaryMemory
+from repro.sim.regfile import TernaryRegisterFile
+from repro.sim.alu import ALUResult, TernaryALU
+from repro.sim.functional import ExecutionResult, FunctionalSimulator, SimulationError
+from repro.sim.pipeline import PipelineSimulator, PipelineStats
+
+__all__ = [
+    "TernaryMemory",
+    "MemoryError_",
+    "TernaryRegisterFile",
+    "TernaryALU",
+    "ALUResult",
+    "FunctionalSimulator",
+    "ExecutionResult",
+    "SimulationError",
+    "PipelineSimulator",
+    "PipelineStats",
+]

@@ -1,0 +1,124 @@
+"""The ternary arithmetic logic unit (TALU) of the EX stage.
+
+The TALU performs every R-type and I-type data operation of Table I.  It is
+deliberately a standalone component with a single ``execute`` entry point so
+that (a) the functional and pipeline simulators share identical semantics
+and (b) the gate-level analyzer can attribute hardware resources to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ternary.arithmetic import (
+    add_words,
+    compare_words,
+    shift_amount_from_word,
+    shift_left,
+    shift_right,
+    sub_words,
+)
+from repro.ternary.logic import (
+    word_and,
+    word_nti,
+    word_or,
+    word_pti,
+    word_sti,
+    word_xor,
+)
+from repro.ternary.word import WORD_TRITS, TernaryWord
+
+
+@dataclass
+class ALUResult:
+    """Outcome of one TALU operation."""
+
+    value: TernaryWord
+    operation: str
+
+
+class TernaryALU:
+    """Executes the arithmetic/logic portion of the ART-9 ISA.
+
+    The ``execute`` method takes the mnemonic and the two (already forwarded)
+    operand words.  For I-type instructions the immediate operand is passed
+    in ``imm`` and the ``operand_b`` argument is ignored.
+    """
+
+    #: Mnemonics handled by the TALU (everything that produces its result in EX).
+    OPERATIONS = (
+        "MV", "PTI", "NTI", "STI", "AND", "OR", "XOR", "ADD", "SUB", "SR", "SL",
+        "COMP", "ANDI", "ADDI", "SRI", "SLI", "LUI", "LI",
+    )
+
+    def __init__(self):
+        self.operation_counts = {op: 0 for op in self.OPERATIONS}
+
+    def execute(
+        self,
+        mnemonic: str,
+        operand_a: TernaryWord,
+        operand_b: Optional[TernaryWord] = None,
+        imm: Optional[int] = None,
+    ) -> ALUResult:
+        """Compute one operation and return its :class:`ALUResult`."""
+        mnemonic = mnemonic.upper()
+        if mnemonic not in self.operation_counts:
+            raise ValueError(f"TALU does not implement {mnemonic!r}")
+        self.operation_counts[mnemonic] += 1
+
+        if mnemonic == "MV":
+            result = operand_b
+        elif mnemonic == "PTI":
+            result = word_pti(operand_b)
+        elif mnemonic == "NTI":
+            result = word_nti(operand_b)
+        elif mnemonic == "STI":
+            result = word_sti(operand_b)
+        elif mnemonic == "AND":
+            result = word_and(operand_a, operand_b)
+        elif mnemonic == "OR":
+            result = word_or(operand_a, operand_b)
+        elif mnemonic == "XOR":
+            result = word_xor(operand_a, operand_b)
+        elif mnemonic == "ADD":
+            result = add_words(operand_a, operand_b)
+        elif mnemonic == "SUB":
+            result = sub_words(operand_a, operand_b)
+        elif mnemonic == "SR":
+            result = shift_right(operand_a, shift_amount_from_word(operand_b))
+        elif mnemonic == "SL":
+            result = shift_left(operand_a, shift_amount_from_word(operand_b))
+        elif mnemonic == "COMP":
+            result = TernaryWord(compare_words(operand_a, operand_b), WORD_TRITS)
+        elif mnemonic == "ANDI":
+            result = word_and(operand_a, TernaryWord(imm, WORD_TRITS))
+        elif mnemonic == "ADDI":
+            result = add_words(operand_a, TernaryWord(imm, WORD_TRITS))
+        elif mnemonic == "SRI":
+            result = shift_right(operand_a, self._imm_shift_amount(imm))
+        elif mnemonic == "SLI":
+            result = shift_left(operand_a, self._imm_shift_amount(imm))
+        elif mnemonic == "LUI":
+            result = shift_left(TernaryWord(imm, WORD_TRITS), 5)
+        elif mnemonic == "LI":
+            low = TernaryWord(imm, 5)
+            result = operand_a.replace_low(low)
+        else:  # pragma: no cover - guarded by the membership test above
+            raise AssertionError(mnemonic)
+        return ALUResult(value=result, operation=mnemonic)
+
+    @staticmethod
+    def _imm_shift_amount(imm: int) -> int:
+        """Decode the 2-trit immediate shift amount of SRI/SLI (mod 9)."""
+        return imm % 9
+
+    def effective_address(self, base: TernaryWord, offset: int) -> int:
+        """Address computation of the M-type instructions (shared adder)."""
+        return (base.value + offset) % (3 ** base.width)
+
+    def reset_statistics(self) -> None:
+        """Zero the per-operation usage counters."""
+        for key in self.operation_counts:
+            self.operation_counts[key] = 0

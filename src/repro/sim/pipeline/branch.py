@@ -1,0 +1,86 @@
+"""Branch-target calculator and condition checker of the ID stage.
+
+The ART-9 pipeline resolves every control transfer in ID (Sec. IV-B): a
+dedicated adder computes the PC-relative target, the condition checker
+compares the forwarded least-significant trit against the instruction's B
+constant, and the computed address is forwarded directly to the PC register.
+A taken branch or jump therefore squashes exactly one fetched instruction
+(one bubble), and a not-taken branch costs nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.isa.instructions import Instruction
+from repro.ternary.word import WORD_TRITS, TernaryWord
+
+
+@dataclass
+class BranchOutcome:
+    """Decision of the ID-stage branch unit for one instruction."""
+
+    is_control: bool = False
+    taken: bool = False
+    target: Optional[int] = None
+    link_value: Optional[int] = None  # PC + 1 for JAL/JALR
+
+
+class BranchUnit:
+    """Evaluates B-type instructions (BEQ, BNE, JAL, JALR) in the ID stage."""
+
+    def __init__(self):
+        self.taken_branches = 0
+        self.not_taken_branches = 0
+        self.jumps = 0
+
+    def evaluate(
+        self,
+        instruction: Instruction,
+        pc: int,
+        tb_value: Optional[TernaryWord],
+    ) -> BranchOutcome:
+        """Return the control-flow outcome of ``instruction`` at ``pc``.
+
+        ``tb_value`` is the forwarded value of the Tb register (None for
+        JAL, which has no register source).
+        """
+        mnemonic = instruction.mnemonic
+        if mnemonic in ("BEQ", "BNE"):
+            lst = tb_value.lst
+            matches = lst == instruction.branch_trit
+            taken = matches if mnemonic == "BEQ" else not matches
+            if taken:
+                self.taken_branches += 1
+            else:
+                self.not_taken_branches += 1
+            return BranchOutcome(
+                is_control=True,
+                taken=taken,
+                target=pc + instruction.imm if taken else None,
+            )
+        if mnemonic == "JAL":
+            self.jumps += 1
+            return BranchOutcome(
+                is_control=True,
+                taken=True,
+                target=pc + instruction.imm,
+                link_value=pc + 1,
+            )
+        if mnemonic == "JALR":
+            self.jumps += 1
+            target = (tb_value.value + instruction.imm) % (3 ** WORD_TRITS)
+            return BranchOutcome(
+                is_control=True,
+                taken=True,
+                target=target,
+                link_value=pc + 1,
+            )
+        return BranchOutcome(is_control=False)
+
+    def reset_statistics(self) -> None:
+        """Zero the taken/not-taken/jump counters."""
+        self.taken_branches = 0
+        self.not_taken_branches = 0
+        self.jumps = 0

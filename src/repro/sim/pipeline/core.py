@@ -1,0 +1,258 @@
+"""The cycle-accurate 5-stage pipeline simulator (Fig. 4 of the paper).
+
+Stage model
+-----------
+
+Within one simulated cycle the stages are evaluated in reverse order
+(WB, MEM, EX, ID, IF) over the latch values captured at the start of the
+cycle, which reproduces the behaviour of the real pipeline:
+
+* write-back happens in the first half of the cycle, so a register written
+  in WB is visible to the register read performed in ID of the same cycle
+  (the TRF has asynchronous read ports, Sec. IV-B);
+* the TALU result computed in EX this cycle is visible to the ID-stage
+  branch condition checker and JALR base path through the dedicated
+  ID forwarding network ("forwarding one-trit values", Sec. IV-B);
+* the EX/MEM and MEM/WB latches feed the TALU forwarding multiplexers,
+  removing all ALU-use hazards.
+
+The only hardware-inserted stall cycles are load-use hazards (one bubble)
+and taken branches/jumps (one flushed fetch), matching the statement in
+Sec. IV-B that those are the only observed stall sources.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa.instructions import Instruction
+from repro.isa.program import Program
+from repro.sim.alu import TernaryALU
+from repro.sim.functional import SimulationError
+from repro.sim.memory import TernaryMemory
+from repro.sim.pipeline.branch import BranchUnit
+from repro.sim.pipeline.forwarding import ForwardingUnit
+from repro.sim.pipeline.hazards import HazardDetectionUnit
+from repro.sim.pipeline.stages import DecodeLatch, ExecuteLatch, FetchLatch, MemoryLatch
+from repro.sim.pipeline.stats import PipelineStats
+from repro.sim.regfile import TernaryRegisterFile
+from repro.ternary.word import WORD_TRITS, TernaryWord
+
+
+class PipelineSimulator:
+    """Cycle-accurate simulator of the pipelined ART-9 core."""
+
+    def __init__(self, program: Program, tdm_depth: int = 3 ** WORD_TRITS):
+        self.program = program
+        self.registers = TernaryRegisterFile()
+        self.tim_words = program.encode()  # validates that the program encodes
+        self.tdm = TernaryMemory(depth=tdm_depth, name="TDM")
+        self.alu = TernaryALU()
+        self.hdu = HazardDetectionUnit()
+        self.forwarding = ForwardingUnit()
+        self.branch_unit = BranchUnit()
+        self.stats = PipelineStats()
+
+        self.pc = 0
+        self.halted = False
+        self._draining = False
+
+        self.if_id = FetchLatch.bubble()
+        self.id_ex = DecodeLatch.bubble()
+        self.ex_mem = ExecuteLatch.bubble()
+        self.mem_wb = MemoryLatch.bubble()
+
+        for segment in program.data:
+            self.tdm.load_words(segment.values, base=segment.base_address)
+
+    # ------------------------------------------------------------------ stages
+
+    def _writeback(self) -> None:
+        """WB: commit the MEM/WB latch to the register file."""
+        latch = self.mem_wb
+        if not latch.valid:
+            return
+        instruction = latch.instruction
+        destination = latch.destination
+        if destination is not None and latch.writeback_value is not None:
+            self.registers.write(destination, latch.writeback_value)
+        self.stats.instructions_committed += 1
+        self.stats.instruction_mix[instruction.mnemonic] = (
+            self.stats.instruction_mix.get(instruction.mnemonic, 0) + 1
+        )
+        if instruction.mnemonic == "HALT":
+            self.halted = True
+
+    def _memory(self) -> MemoryLatch:
+        """MEM: perform the TDM access of the EX/MEM latch."""
+        latch = self.ex_mem
+        if not latch.valid:
+            return MemoryLatch.bubble()
+        instruction = latch.instruction
+        writeback_value = latch.alu_result
+        if instruction.spec.is_load:
+            writeback_value = self.tdm.read(latch.memory_address)
+        elif instruction.spec.is_store:
+            self.tdm.write(latch.memory_address, latch.store_value)
+            writeback_value = None
+        return MemoryLatch(
+            valid=True,
+            pc=latch.pc,
+            instruction=instruction,
+            writeback_value=writeback_value,
+        )
+
+    def _execute(self) -> ExecuteLatch:
+        """EX: run the TALU (with forwarding) or compute the memory address."""
+        latch = self.id_ex
+        if not latch.valid:
+            return ExecuteLatch.bubble()
+        instruction = latch.instruction
+        spec = instruction.spec
+
+        operand_a = latch.operand_a
+        operand_b = latch.operand_b
+        if spec.reads_ta:
+            operand_a = self.forwarding.forward_operand(
+                instruction.ta, operand_a, self.ex_mem, self.mem_wb
+            )
+        if spec.reads_tb:
+            operand_b = self.forwarding.forward_operand(
+                instruction.tb, operand_b, self.ex_mem, self.mem_wb
+            )
+
+        alu_result: Optional[TernaryWord] = None
+        store_value: Optional[TernaryWord] = None
+        memory_address: Optional[int] = None
+
+        if spec.category in ("R", "I"):
+            alu_result = self.alu.execute(
+                instruction.mnemonic, operand_a, operand_b, imm=instruction.imm
+            ).value
+        elif spec.is_load or spec.is_store:
+            memory_address = self.alu.effective_address(operand_b, instruction.imm)
+            if spec.is_store:
+                store_value = operand_a
+        elif spec.is_jump:
+            # The link value (PC + 1) was computed in ID; it rides down the
+            # pipeline as the writeback value.
+            alu_result = TernaryWord(latch.link_value, WORD_TRITS)
+        # Conditional branches and HALT carry nothing: they were fully
+        # resolved in ID and only flow through for commit accounting.
+
+        return ExecuteLatch(
+            valid=True,
+            pc=latch.pc,
+            instruction=instruction,
+            alu_result=alu_result,
+            store_value=store_value,
+            memory_address=memory_address,
+        )
+
+    def _decode(self, ex_output: ExecuteLatch, mem_output: MemoryLatch):
+        """ID: hazard check, register read, branch resolution.
+
+        Returns ``(id_ex_next, stall, redirect_target)``.
+        """
+        latch = self.if_id
+        if not latch.valid:
+            return DecodeLatch.bubble(), False, None
+        instruction = latch.instruction
+        spec = instruction.spec
+
+        hazard = self.hdu.check(instruction, self.id_ex)
+        if hazard.stall:
+            self.stats.load_use_stalls += 1
+            return DecodeLatch.bubble(), True, None
+
+        operand_a = self.registers.read(instruction.ta) if spec.reads_ta else None
+        operand_b = self.registers.read(instruction.tb) if spec.reads_tb else None
+
+        redirect_target = None
+        link_value = None
+        if spec.is_control:
+            tb_value = None
+            if spec.reads_tb:
+                tb_value = self.forwarding.forward_for_id(
+                    instruction.tb, self.registers, ex_output, mem_output
+                )
+            outcome = self.branch_unit.evaluate(instruction, latch.pc, tb_value)
+            if outcome.taken:
+                redirect_target = outcome.target
+            link_value = outcome.link_value
+        elif instruction.mnemonic == "HALT":
+            # Stop fetching; let the HALT drain to WB to finish the run.
+            self._draining = True
+
+        id_ex_next = DecodeLatch(
+            valid=True,
+            pc=latch.pc,
+            instruction=instruction,
+            operand_a=operand_a,
+            operand_b=operand_b,
+            link_value=link_value,
+        )
+        return id_ex_next, False, redirect_target
+
+    def _fetch(self, stall: bool, redirect_target: Optional[int]) -> FetchLatch:
+        """IF: fetch the next instruction (or hold / squash)."""
+        if stall:
+            return self.if_id  # IF/ID holds; PC is held by the caller.
+        if redirect_target is not None:
+            self.pc = redirect_target
+            self.stats.control_flush_bubbles += 1
+            return FetchLatch.bubble()
+        if self._draining or not 0 <= self.pc < len(self.program.instructions):
+            return FetchLatch.bubble()
+        instruction = self.program.instructions[self.pc]
+        fetched = FetchLatch(valid=True, pc=self.pc, instruction=instruction)
+        self.pc += 1
+        return fetched
+
+    # ------------------------------------------------------------------ driver
+
+    def step_cycle(self) -> None:
+        """Advance the machine by one clock cycle."""
+        self.stats.cycles += 1
+
+        self._writeback()
+        mem_wb_next = self._memory()
+        ex_mem_next = self._execute()
+        id_ex_next, stall, redirect_target = self._decode(ex_mem_next, mem_wb_next)
+        if_id_next = self._fetch(stall, redirect_target)
+
+        self.mem_wb = mem_wb_next
+        self.ex_mem = ex_mem_next
+        self.id_ex = id_ex_next
+        self.if_id = if_id_next
+
+    def run(self, max_cycles: int = 50_000_000) -> PipelineStats:
+        """Run until the HALT instruction commits (or ``max_cycles``)."""
+        if not self.program.instructions:
+            raise SimulationError("cannot simulate an empty program")
+        while not self.halted:
+            if self.stats.cycles >= max_cycles:
+                raise SimulationError(
+                    f"program did not halt within {max_cycles} cycles"
+                )
+            self.step_cycle()
+        self._finalize_stats()
+        return self.stats
+
+    def _finalize_stats(self) -> None:
+        self.stats.taken_branches = self.branch_unit.taken_branches
+        self.stats.not_taken_branches = self.branch_unit.not_taken_branches
+        self.stats.jumps = self.branch_unit.jumps
+        self.stats.ex_forwards = self.forwarding.ex_forwards
+        self.stats.mem_forwards = self.forwarding.mem_forwards
+        self.stats.id_forwards = self.forwarding.id_forwards
+
+    # ------------------------------------------------------------------ helpers
+
+    def register_snapshot(self) -> dict:
+        """Name → integer value of the architectural registers."""
+        return self.registers.snapshot()
+
+    def memory_values(self, base: int, count: int) -> list:
+        """Read ``count`` consecutive TDM words starting at ``base``."""
+        return self.tdm.dump(base, count)

@@ -1,0 +1,110 @@
+"""Pipeline latch payloads for the 5-stage ART-9 core.
+
+Each dataclass models the ternary pipeline register between two stages.  A
+latch whose ``valid`` flag is False carries a bubble (the hardware would be
+holding the NOP selected by the stall control signal of the main decoder).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.isa.instructions import Instruction
+from repro.ternary.word import TernaryWord
+
+
+@dataclass
+class FetchLatch:
+    """IF/ID pipeline register: the fetched instruction and its PC."""
+
+    valid: bool = False
+    pc: int = 0
+    instruction: Optional[Instruction] = None
+
+    @classmethod
+    def bubble(cls) -> "FetchLatch":
+        """An empty slot (inserted after a taken branch flush)."""
+        return cls(valid=False)
+
+
+@dataclass
+class DecodeLatch:
+    """ID/EX pipeline register: decoded fields and register operands.
+
+    ``operand_a`` / ``operand_b`` hold the values read from the TRF in ID;
+    the forwarding unit may override them at the TALU inputs in EX.
+    """
+
+    valid: bool = False
+    pc: int = 0
+    instruction: Optional[Instruction] = None
+    operand_a: Optional[TernaryWord] = None
+    operand_b: Optional[TernaryWord] = None
+    link_value: Optional[int] = None
+
+    @classmethod
+    def bubble(cls) -> "DecodeLatch":
+        """The NOP inserted by the stall control signal."""
+        return cls(valid=False)
+
+    @property
+    def destination(self) -> Optional[int]:
+        """Destination register of the instruction in flight, if any."""
+        if not self.valid or self.instruction is None:
+            return None
+        return self.instruction.destination()
+
+    @property
+    def is_load(self) -> bool:
+        """True when the latch carries a LOAD (needed by the HDU)."""
+        return self.valid and self.instruction is not None and self.instruction.spec.is_load
+
+
+@dataclass
+class ExecuteLatch:
+    """EX/MEM pipeline register: the TALU result or memory request."""
+
+    valid: bool = False
+    pc: int = 0
+    instruction: Optional[Instruction] = None
+    alu_result: Optional[TernaryWord] = None
+    store_value: Optional[TernaryWord] = None
+    memory_address: Optional[int] = None
+
+    @classmethod
+    def bubble(cls) -> "ExecuteLatch":
+        return cls(valid=False)
+
+    @property
+    def destination(self) -> Optional[int]:
+        """Destination register of the instruction in flight, if any."""
+        if not self.valid or self.instruction is None:
+            return None
+        return self.instruction.destination()
+
+    @property
+    def is_load(self) -> bool:
+        """True when the latch carries a LOAD whose data is not yet available."""
+        return self.valid and self.instruction is not None and self.instruction.spec.is_load
+
+
+@dataclass
+class MemoryLatch:
+    """MEM/WB pipeline register: the value to commit to the TRF."""
+
+    valid: bool = False
+    pc: int = 0
+    instruction: Optional[Instruction] = None
+    writeback_value: Optional[TernaryWord] = None
+
+    @classmethod
+    def bubble(cls) -> "MemoryLatch":
+        return cls(valid=False)
+
+    @property
+    def destination(self) -> Optional[int]:
+        """Destination register of the instruction in flight, if any."""
+        if not self.valid or self.instruction is None:
+            return None
+        return self.instruction.destination()

@@ -1,0 +1,112 @@
+"""Balanced ternary number system substrate.
+
+This package implements the arithmetic and logic substrate of the ART-9
+processor: individual balanced trits, fixed-width trit words, the logic
+operations of Fig. 1 of the paper (AND, OR, XOR, STI, NTI, PTI), ternary
+addition/subtraction/multiplication, trit shifts, comparison, and the
+binary-encoded ternary representation used by the FPGA emulation platform.
+
+The public entry points are:
+
+``Trit``
+    The three balanced trit values (-1, 0, +1) with single-trit logic.
+``TernaryWord``
+    An immutable fixed-width balanced ternary word (9 trits for ART-9).
+``int_to_trits`` / ``trits_to_int``
+    Conversions between Python integers and balanced trit sequences.
+``add_words`` / ``sub_words`` / ``mul_words`` / ``negate_word``
+    Word-level arithmetic with carry propagation, as a ternary ALU would
+    compute them.
+``BinaryEncodedTrit`` / ``encode_word`` / ``decode_word``
+    The 2-bit-per-trit binary encoding used for FPGA-level emulation
+    (ref. [27] of the paper).
+"""
+
+from repro.ternary.trit import (
+    NEG,
+    POS,
+    ZERO,
+    Trit,
+    trit_and,
+    trit_nti,
+    trit_or,
+    trit_pti,
+    trit_sti,
+    trit_xor,
+)
+from repro.ternary.conversion import (
+    int_to_trits,
+    min_trits_for,
+    trits_to_int,
+    to_balanced_range,
+)
+from repro.ternary.word import TernaryWord, WORD_TRITS
+from repro.ternary.arithmetic import (
+    add_trits,
+    add_words,
+    compare_words,
+    divmod_by_power_of_three,
+    full_adder,
+    mul_words,
+    negate_word,
+    shift_left,
+    shift_right,
+    sub_words,
+)
+from repro.ternary.logic import (
+    word_and,
+    word_nti,
+    word_or,
+    word_pti,
+    word_sti,
+    word_xor,
+)
+from repro.ternary.encoding import (
+    BinaryEncodedWord,
+    bits_for_word,
+    decode_word,
+    encode_trit,
+    encode_word,
+    decode_trit,
+)
+
+__all__ = [
+    "NEG",
+    "ZERO",
+    "POS",
+    "Trit",
+    "trit_and",
+    "trit_or",
+    "trit_xor",
+    "trit_sti",
+    "trit_nti",
+    "trit_pti",
+    "int_to_trits",
+    "trits_to_int",
+    "min_trits_for",
+    "to_balanced_range",
+    "TernaryWord",
+    "WORD_TRITS",
+    "full_adder",
+    "add_trits",
+    "add_words",
+    "sub_words",
+    "mul_words",
+    "negate_word",
+    "shift_left",
+    "shift_right",
+    "compare_words",
+    "divmod_by_power_of_three",
+    "word_and",
+    "word_or",
+    "word_xor",
+    "word_sti",
+    "word_nti",
+    "word_pti",
+    "BinaryEncodedWord",
+    "encode_trit",
+    "decode_trit",
+    "encode_word",
+    "decode_word",
+    "bits_for_word",
+]

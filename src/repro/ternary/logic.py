@@ -1,0 +1,54 @@
+"""Trit-wise word logic operations (AND, OR, XOR, STI, NTI, PTI).
+
+These are the word-level counterparts of the single-trit gates in
+:mod:`repro.ternary.trit`; each applies the gate independently to every trit
+of the operand word(s), exactly as a row of ternary gates would in the TALU.
+"""
+
+from __future__ import annotations
+
+from repro.ternary.trit import (
+    trit_and,
+    trit_nti,
+    trit_or,
+    trit_pti,
+    trit_sti,
+    trit_xor,
+)
+from repro.ternary.word import TernaryWord
+
+
+def _dyadic(a: TernaryWord, b: TernaryWord, gate) -> TernaryWord:
+    if a.width != b.width:
+        raise ValueError("operands must have the same width")
+    return TernaryWord([gate(x, y) for x, y in zip(a.trits, b.trits)], a.width)
+
+
+def word_and(a: TernaryWord, b: TernaryWord) -> TernaryWord:
+    """Trit-wise ternary AND (minimum)."""
+    return _dyadic(a, b, trit_and)
+
+
+def word_or(a: TernaryWord, b: TernaryWord) -> TernaryWord:
+    """Trit-wise ternary OR (maximum)."""
+    return _dyadic(a, b, trit_or)
+
+
+def word_xor(a: TernaryWord, b: TernaryWord) -> TernaryWord:
+    """Trit-wise ternary XOR (carry-free balanced sum)."""
+    return _dyadic(a, b, trit_xor)
+
+
+def word_sti(a: TernaryWord) -> TernaryWord:
+    """Trit-wise standard ternary inversion (negation of every trit)."""
+    return TernaryWord([trit_sti(t) for t in a.trits], a.width)
+
+
+def word_nti(a: TernaryWord) -> TernaryWord:
+    """Trit-wise negative ternary inversion."""
+    return TernaryWord([trit_nti(t) for t in a.trits], a.width)
+
+
+def word_pti(a: TernaryWord) -> TernaryWord:
+    """Trit-wise positive ternary inversion."""
+    return TernaryWord([trit_pti(t) for t in a.trits], a.width)

@@ -1,0 +1,129 @@
+"""Common infrastructure for the benchmark workloads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.riscv.assembler import assemble_riscv
+from repro.riscv.program import RVProgram
+from repro.riscv.simulator import RVSimulator
+
+
+class WorkloadResultMismatch(AssertionError):
+    """Raised when a simulated run does not reproduce the reference results."""
+
+
+def lcg_values(count: int, seed: int = 7, modulus: int = 97) -> List[int]:
+    """Deterministic pseudo-random values in ``[0, modulus)``.
+
+    A tiny linear congruential generator keeps the workloads reproducible
+    without importing :mod:`random` (the same sequence is embedded in the
+    assembly data sections and in the Python reference models).
+    """
+    values = []
+    state = seed
+    for _ in range(count):
+        state = (state * 48271 + 11) % 2147483647
+        values.append(state % modulus)
+    return values
+
+
+@dataclass
+class Workload:
+    """One benchmark: its RV-32 source, reference results and metadata.
+
+    Attributes
+    ----------
+    name:
+        Short identifier used in tables ("bubble_sort", "dhrystone", ...).
+    rv_source:
+        RV-32I assembly text, the input of the software-level framework.
+    result_base:
+        Byte address of the first result word in data memory.
+    expected_results:
+        The values the result region must hold after a correct run.
+    iterations:
+        Number of benchmark iterations executed (used by the DMIPS
+        calculation for the Dhrystone workload; 1 for the others).
+    description:
+        One-line description for reports.
+    """
+
+    name: str
+    rv_source: str
+    result_base: int
+    expected_results: List[int]
+    iterations: int = 1
+    description: str = ""
+    _rv_program: Optional[RVProgram] = field(default=None, repr=False)
+
+    @property
+    def result_count(self) -> int:
+        """Number of result words."""
+        return len(self.expected_results)
+
+    def rv_program(self) -> RVProgram:
+        """Assemble (and cache) the RV-32 program."""
+        if self._rv_program is None:
+            self._rv_program = assemble_riscv(self.rv_source, name=self.name)
+        return self._rv_program
+
+    # -- verification helpers -----------------------------------------------------
+
+    def check_rv_results(self, simulator: RVSimulator) -> None:
+        """Verify a finished RV-32 simulation against the reference results."""
+        actual = simulator.memory_words(self.result_base, self.result_count)
+        if actual != self.expected_results:
+            raise WorkloadResultMismatch(
+                f"{self.name}: RV-32 run produced {actual}, expected {self.expected_results}"
+            )
+
+    def check_ternary_results(self, simulator) -> None:
+        """Verify a finished ART-9 simulation (functional or pipelined).
+
+        The translated program keeps the RV byte addresses, so result word
+        ``i`` lives at TDM address ``result_base + 4 * i``.
+        """
+        actual = [
+            simulator.tdm.read_int(self.result_base + 4 * index)
+            for index in range(self.result_count)
+        ]
+        if actual != self.expected_results:
+            raise WorkloadResultMismatch(
+                f"{self.name}: ART-9 run produced {actual}, expected {self.expected_results}"
+            )
+
+    def run_rv_reference(self) -> RVSimulator:
+        """Run the RV-32 functional simulator and verify the results."""
+        simulator = RVSimulator(self.rv_program())
+        simulator.run()
+        self.check_rv_results(simulator)
+        return simulator
+
+
+_BUILDERS: Dict[str, Callable[[], Workload]] = {}
+
+
+def register_workload(name: str):
+    """Decorator registering a workload builder under ``name``."""
+
+    def decorator(builder: Callable[[], Workload]):
+        _BUILDERS[name] = builder
+        return builder
+
+    return decorator
+
+
+def get_workload(name: str) -> Workload:
+    """Build the workload registered under ``name``."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; known: {sorted(_BUILDERS)}") from None
+    return builder()
+
+
+def all_workloads() -> Dict[str, Workload]:
+    """Build every registered workload (name → workload)."""
+    return {name: builder() for name, builder in sorted(_BUILDERS.items())}

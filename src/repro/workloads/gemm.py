@@ -1,0 +1,98 @@
+"""General matrix multiplication (GEMM) workload, 4x4 x 4x4.
+
+GEMM exercises the multiply path: the ART-9 core has no hardware multiplier
+(Table II), so every ``mul`` of the RV-32 source is lowered by the software
+framework into a call of the ternary runtime multiply helper, while the
+PicoRV32 baseline (RV-32IM) charges its documented PCPI multiplier latency.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.base import Workload, lcg_values, register_workload
+
+#: Matrix dimension (N x N).
+N = 4
+
+
+def _reference(a: List[int], b: List[int]) -> List[int]:
+    """Row-major C = A * B."""
+    c = [0] * (N * N)
+    for i in range(N):
+        for j in range(N):
+            total = 0
+            for k in range(N):
+                total += a[i * N + k] * b[k * N + j]
+            c[i * N + j] = total
+    return c
+
+
+def _source(a: List[int], b: List[int]) -> str:
+    mat_a = ", ".join(str(v) for v in a)
+    mat_b = ", ".join(str(v) for v in b)
+    zeros = ", ".join("0" for _ in range(N * N))
+    return f"""
+# C = A * B for {N}x{N} row-major word matrices.
+# s0 = i, s1 = j, s2 = k, s3 = accumulator; t0/t1/t2/t3 = address/element temps.
+.text
+    li   s0, 0
+loop_i:
+    li   s1, 0
+loop_j:
+    li   s2, 0
+    li   s3, 0
+loop_k:
+    # t2 = A[i][k]
+    slli t0, s0, 2
+    add  t0, t0, s2
+    slli t0, t0, 2
+    la   t1, mat_a
+    add  t0, t0, t1
+    lw   t2, 0(t0)
+    # t3 = B[k][j]
+    slli t0, s2, 2
+    add  t0, t0, s1
+    slli t0, t0, 2
+    la   t1, mat_b
+    add  t0, t0, t1
+    lw   t3, 0(t0)
+    mul  t2, t2, t3
+    add  s3, s3, t2
+    addi s2, s2, 1
+    li   t0, {N}
+    blt  s2, t0, loop_k
+    # C[i][j] = s3
+    slli t0, s0, 2
+    add  t0, t0, s1
+    slli t0, t0, 2
+    la   t1, mat_c
+    add  t0, t0, t1
+    sw   s3, 0(t0)
+    addi s1, s1, 1
+    li   t0, {N}
+    blt  s1, t0, loop_j
+    addi s0, s0, 1
+    li   t0, {N}
+    blt  s0, t0, loop_i
+    ecall
+
+.data
+mat_c: .word {zeros}
+mat_a: .word {mat_a}
+mat_b: .word {mat_b}
+"""
+
+
+@register_workload("gemm")
+def build_gemm() -> Workload:
+    """Build the GEMM workload with deterministic small-valued matrices."""
+    a = lcg_values(N * N, seed=11, modulus=9)
+    b = lcg_values(N * N, seed=23, modulus=9)
+    return Workload(
+        name="gemm",
+        rv_source=_source(a, b),
+        result_base=0,
+        expected_results=_reference(a, b),
+        description=f"{N}x{N} integer matrix multiplication (software multiply on ART-9)",
+    )

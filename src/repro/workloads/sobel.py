@@ -1,0 +1,127 @@
+"""Sobel edge-detection filter workload on an 8x8 image.
+
+The 3x3 Sobel kernels only need coefficients of +-1 and +-2, so the kernel
+is written multiplication-free (doubling by addition); the gradient
+magnitude is approximated, as is common on integer hardware, by
+``|Gx| + |Gy|``.  The filter is evaluated on the 6x6 interior pixels and the
+36 results are written to the output region.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.base import Workload, lcg_values, register_workload
+
+#: Image side length (pixels).
+SIZE = 8
+#: Interior size actually filtered.
+INNER = SIZE - 2
+#: Byte stride of one image row.
+ROW_BYTES = 4 * SIZE
+
+
+def _reference(image: List[int]) -> List[int]:
+    """|Gx| + |Gy| over the interior pixels, row-major."""
+    out = []
+    for row in range(1, SIZE - 1):
+        for col in range(1, SIZE - 1):
+            def pixel(dr, dc):
+                return image[(row + dr) * SIZE + (col + dc)]
+
+            gx = (pixel(-1, 1) + 2 * pixel(0, 1) + pixel(1, 1)) - (
+                pixel(-1, -1) + 2 * pixel(0, -1) + pixel(1, -1))
+            gy = (pixel(1, -1) + 2 * pixel(1, 0) + pixel(1, 1)) - (
+                pixel(-1, -1) + 2 * pixel(-1, 0) + pixel(-1, 1))
+            out.append(abs(gx) + abs(gy))
+    return out
+
+
+def _source(image: List[int]) -> str:
+    pixels = ", ".join(str(v) for v in image)
+    zeros = ", ".join("0" for _ in range(INNER * INNER))
+    return f"""
+# Sobel filter (|Gx| + |Gy|) over the interior of an {SIZE}x{SIZE} image.
+# s0 = row, s1 = column, t0 = centre-pixel address, a5 = output pointer,
+# a3 = Gx accumulator, a4 = Gy accumulator, t2 = loaded pixel.
+.text
+    la   a5, output
+    li   s0, 1
+row_loop:
+    li   s1, 1
+col_loop:
+    # t0 = &image[row][col]
+    slli t0, s0, 3
+    add  t0, t0, s1
+    slli t0, t0, 2
+    la   t1, image
+    add  t0, t0, t1
+
+    # Gx = (NE + 2E + SE) - (NW + 2W + SW)
+    lw   t2, -28(t0)        # NE
+    mv   a3, t2
+    lw   t2, 4(t0)          # E
+    add  a3, a3, t2
+    add  a3, a3, t2
+    lw   t2, 36(t0)         # SE
+    add  a3, a3, t2
+    lw   t2, -36(t0)        # NW
+    sub  a3, a3, t2
+    lw   t2, -4(t0)         # W
+    sub  a3, a3, t2
+    sub  a3, a3, t2
+    lw   t2, 28(t0)         # SW
+    sub  a3, a3, t2
+
+    # Gy = (SW + 2S + SE) - (NW + 2N + NE)
+    lw   t2, 28(t0)         # SW
+    mv   a4, t2
+    lw   t2, 32(t0)         # S
+    add  a4, a4, t2
+    add  a4, a4, t2
+    lw   t2, 36(t0)         # SE
+    add  a4, a4, t2
+    lw   t2, -36(t0)        # NW
+    sub  a4, a4, t2
+    lw   t2, -32(t0)        # N
+    sub  a4, a4, t2
+    sub  a4, a4, t2
+    lw   t2, -28(t0)        # NE
+    sub  a4, a4, t2
+
+    # magnitude = |Gx| + |Gy|
+    bgez a3, gx_positive
+    neg  a3, a3
+gx_positive:
+    bgez a4, gy_positive
+    neg  a4, a4
+gy_positive:
+    add  a3, a3, a4
+    sw   a3, 0(a5)
+    addi a5, a5, 4
+
+    addi s1, s1, 1
+    li   t1, {SIZE - 1}
+    blt  s1, t1, col_loop
+    addi s0, s0, 1
+    li   t1, {SIZE - 1}
+    blt  s0, t1, row_loop
+    ecall
+
+.data
+output: .word {zeros}
+image:  .word {pixels}
+"""
+
+
+@register_workload("sobel")
+def build_sobel() -> Workload:
+    """Build the Sobel workload with a deterministic 8x8 test image."""
+    image = lcg_values(SIZE * SIZE, seed=41, modulus=256)
+    return Workload(
+        name="sobel",
+        rv_source=_source(image),
+        result_base=0,
+        expected_results=_reference(image),
+        description=f"Sobel edge filter over an {SIZE}x{SIZE} image (multiplication-free)",
+    )

@@ -1,0 +1,49 @@
+"""Software-level compiling framework (Sec. III-A of the paper).
+
+The framework converts RV-32I assembly (as produced by an existing binary
+tool chain — here the :mod:`repro.riscv` substrate) into ART-9 ternary
+assembly through the three steps described in the paper:
+
+1. **Instruction mapping** (:mod:`repro.xlate.mapping`): each 32-bit
+   instruction is translated into one or more ART-9 instructions operating
+   on *virtual* ternary registers.  Operations without a direct ternary
+   counterpart (multiply, divide, shifts by powers of two) expand into
+   primitive sequences or calls into a small ternary runtime library
+   (:mod:`repro.xlate.runtime`).
+2. **Operand conversion** (:mod:`repro.xlate.operands` and
+   :mod:`repro.xlate.regalloc`): immediates that do not fit the narrow
+   ternary immediate fields are materialised through LUI/LI pairs, and the
+   32 binary registers are renamed onto the nine ternary registers, spilling
+   the less frequently used ones to dedicated TDM slots.
+3. **Redundancy checking** (:mod:`repro.xlate.redundancy` and
+   :mod:`repro.xlate.layout`): meaningless instructions introduced by the
+   earlier steps are removed and branch target addresses are re-computed
+   (with range relaxation) for the final instruction layout.
+
+The high-level entry point is :func:`repro.xlate.translator.translate_program`.
+"""
+
+from repro.xlate.ir import LabelMarker, TranslationUnit, VirtualRegisterFile
+from repro.xlate.errors import TranslationError
+from repro.xlate.mapping import InstructionMapper
+from repro.xlate.operands import convert_operands
+from repro.xlate.regalloc import RegisterAllocation, RegisterAllocator
+from repro.xlate.redundancy import remove_redundancies
+from repro.xlate.layout import emit_program
+from repro.xlate.translator import TranslationReport, TernaryTranslator, translate_program
+
+__all__ = [
+    "TranslationUnit",
+    "LabelMarker",
+    "VirtualRegisterFile",
+    "TranslationError",
+    "InstructionMapper",
+    "convert_operands",
+    "RegisterAllocator",
+    "RegisterAllocation",
+    "remove_redundancies",
+    "emit_program",
+    "TernaryTranslator",
+    "TranslationReport",
+    "translate_program",
+]

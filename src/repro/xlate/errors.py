@@ -1,0 +1,12 @@
+"""Errors raised by the software-level compiling framework."""
+
+from __future__ import annotations
+
+
+class TranslationError(ValueError):
+    """Raised when an RV-32 construct cannot be translated to ART-9 code.
+
+    The message names the offending instruction and the reason (unsupported
+    mnemonic, constant outside the 9-trit range, spilled link register, ...)
+    so benchmark authors can adjust the input program.
+    """

@@ -1,0 +1,186 @@
+"""Final layout: addresses, branch re-targeting and range relaxation.
+
+After the earlier passes have finished inserting and deleting instructions,
+this pass assigns every instruction its TIM address, recomputes every
+symbolic branch/jump target ("the proposed framework also re-calculates the
+branch target addresses", Sec. III-A) and *relaxes* control transfers whose
+PC-relative immediate no longer fits its narrow ternary field:
+
+* a conditional branch that cannot reach its target becomes an inverted
+  branch over an absolute-jump sequence;
+* a JAL that cannot reach its target becomes a LUI/LI constant build of the
+  absolute target address followed by a JALR.
+
+Relaxation may grow the code and move other targets out of range, so the
+pass iterates until the layout is stable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.isa.assembler import split_constant
+from repro.isa.formats import imm_range
+from repro.isa.instructions import Instruction
+from repro.isa.program import DataSegment, Program
+from repro.xlate.errors import TranslationError
+from repro.xlate.ir import LabelMarker, TranslationUnit
+from repro.xlate.regalloc import PHYS_SCRATCH_A, PHYS_SCRATCH_B
+
+_MAX_RELAXATION_ROUNDS = 20
+
+
+class RelaxationNeedsScratchError(TranslationError):
+    """Raised when branch relaxation would clobber T5/T6 but they are live.
+
+    The translator reacts by re-running register renaming with the scratch
+    registers reserved, after which relaxation is safe.
+    """
+
+
+def _label_addresses(items: List) -> Dict[str, int]:
+    addresses: Dict[str, int] = {}
+    address = 0
+    for item in items:
+        if isinstance(item, LabelMarker):
+            addresses[item.name] = address
+        else:
+            address += 1
+    return addresses
+
+
+def _fits(mnemonic: str, value: int) -> bool:
+    lo, hi = imm_range(mnemonic)
+    return lo <= value <= hi
+
+
+def _absolute_jump(target_label: str, link_register: int) -> List[Instruction]:
+    """LUI/LI the absolute target address into T6, then JALR through it.
+
+    The concrete immediate values are filled in on the next layout round,
+    once the label addresses are known; the placeholder label carries the
+    %hi/%lo association.
+    """
+    return [
+        Instruction("LUI", ta=PHYS_SCRATCH_B, label=f"%hi:{target_label}"),
+        Instruction("LI", ta=PHYS_SCRATCH_B, label=f"%lo:{target_label}"),
+        Instruction("JALR", ta=link_register, tb=PHYS_SCRATCH_B, imm=0),
+    ]
+
+
+def _relax_items(items: List, allow_scratch_clobber: bool) -> List:
+    """One relaxation round; returns a new item list (possibly identical)."""
+    addresses = _label_addresses(items)
+    result: List = []
+    address = 0
+    changed = False
+
+    for item in items:
+        if isinstance(item, LabelMarker):
+            result.append(item)
+            continue
+        instruction = item
+        label = instruction.label
+        if label is None or label.startswith("%hi:") or label.startswith("%lo:"):
+            result.append(instruction)
+            address += 1
+            continue
+        if label not in addresses:
+            raise TranslationError(f"undefined label {label!r} in {instruction.render()}")
+        offset = addresses[label] - address
+
+        if instruction.spec.is_branch:
+            if _fits(instruction.mnemonic, offset):
+                result.append(instruction)
+                address += 1
+            else:
+                if not allow_scratch_clobber:
+                    raise RelaxationNeedsScratchError(
+                        f"{instruction.render()} needs relaxation through T5/T6"
+                    )
+                inverted = "BNE" if instruction.mnemonic == "BEQ" else "BEQ"
+                jump = _absolute_jump(label, PHYS_SCRATCH_A)
+                result.append(Instruction(
+                    inverted, tb=instruction.tb, branch_trit=instruction.branch_trit,
+                    imm=len(jump) + 1, source=instruction.source,
+                ))
+                result.extend(jump)
+                address += 1 + len(jump)
+                changed = True
+        elif instruction.mnemonic == "JAL":
+            if _fits("JAL", offset):
+                result.append(instruction)
+                address += 1
+            else:
+                if not allow_scratch_clobber:
+                    raise RelaxationNeedsScratchError(
+                        f"{instruction.render()} needs relaxation through T5/T6"
+                    )
+                jump = _absolute_jump(label, instruction.ta)
+                result.extend(jump)
+                address += len(jump)
+                changed = True
+        else:
+            # LUI/LI/JALR referencing a label directly (absolute addressing).
+            result.append(instruction)
+            address += 1
+
+    return result if changed else items
+
+
+def emit_program(unit: TranslationUnit, allow_scratch_clobber: bool = True) -> Program:
+    """Produce the final :class:`~repro.isa.program.Program` from ``unit``.
+
+    ``allow_scratch_clobber`` states whether the relaxation sequences may use
+    T5/T6; it is False when the register allocator handed those registers to
+    live program values, in which case an out-of-range branch raises
+    :class:`RelaxationNeedsScratchError` and the translator re-allocates.
+    """
+    items = list(unit.items)
+    for _ in range(_MAX_RELAXATION_ROUNDS):
+        relaxed = _relax_items(items, allow_scratch_clobber)
+        if relaxed is items:
+            break
+        items = relaxed
+    else:
+        raise TranslationError("branch relaxation did not converge")
+
+    addresses = _label_addresses(items)
+    program = Program(name=unit.name)
+    for name, address in addresses.items():
+        program.add_label(name, address)
+
+    for item in items:
+        if isinstance(item, LabelMarker):
+            continue
+        instruction = item.copy()
+        label = instruction.label
+        if label is not None:
+            if label.startswith("%hi:") or label.startswith("%lo:"):
+                kind, _, target = label.partition(":")
+                if target not in addresses:
+                    raise TranslationError(f"undefined label {target!r}")
+                high, low = split_constant(addresses[target])
+                instruction.imm = high if kind == "%hi" else low
+                instruction.label = None
+            else:
+                target_address = addresses[label]
+                if instruction.spec.is_branch or instruction.mnemonic == "JAL":
+                    instruction.imm = target_address - len(program.instructions)
+                else:
+                    instruction.imm = target_address
+                # Keep the label for provenance; resolve_labels() is not
+                # called afterwards, so the immediate stays authoritative.
+        program.append(instruction)
+
+    if unit.data_words:
+        program.data.append(DataSegment(base_address=0, values=list(unit.data_words)))
+
+    # Final validation: every immediate must fit its field.
+    for address, instruction in enumerate(program.instructions):
+        if instruction.imm is not None and not _fits(instruction.mnemonic, instruction.imm):
+            raise TranslationError(
+                f"immediate {instruction.imm} of {instruction.render()} at address {address} "
+                "does not fit after relaxation"
+            )
+    return program

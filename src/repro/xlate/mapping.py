@@ -1,0 +1,317 @@
+"""Instruction mapping: RV-32 instructions to ART-9 virtual-register code.
+
+This is the first step of the software-level framework (Fig. 2).  Each RV-32
+instruction becomes one or more ART-9 instructions whose register operands
+are *virtual* registers (the RV register numbers themselves, plus translator
+temporaries).  Register renaming and immediate legalisation happen in later
+passes; this pass only decides the instruction sequences.
+
+Mapping summary
+---------------
+
+=====================  ========================================================
+RV-32 instruction      ART-9 primitive sequence
+=====================  ========================================================
+``add/sub``            ``MV`` (when rd differs from rs1) + ``ADD``/``SUB``
+``addi``               ``MV`` + ``ADDI``
+``and/or/xor`` (+i)    ``MV`` + ternary ``AND``/``OR``/``XOR`` — ternary
+                       gate semantics, see the caveat below
+``slli k``             doubling chain (k × ``ADD rd, rd``)
+``srli/srai k``        call ``__t_div`` with divisor ``2**k``
+``sll/srl/sra``        calls into ``__t_sll`` / ``__t_div``
+``slt/slti/sltu``      ``COMP`` + conditional increment
+``lui/li``             ``LUI``/``LI`` constant construction
+``lw/sw`` (lb/sb/...)  ``LOAD``/``STORE`` (byte addresses kept verbatim)
+``beq/bne/blt/bge``    ``MV`` + ``COMP`` + ``BEQ``/``BNE`` on the result trit
+``jal/jalr``           ``JAL``/``JALR``
+``mul/div/rem``        calls into ``__t_mul`` / ``__t_div``
+``ecall/ebreak``       ``HALT``
+=====================  ========================================================
+
+Caveats (documented substitutions):
+
+* Bitwise ``and``/``or``/``xor`` map onto the *ternary* gates of Fig. 1,
+  which agree with the binary operations only on {0, 1}-valued operands.
+  The benchmark programs avoid relying on wider bitwise semantics.
+* ``bltu``/``bgeu`` are mapped like their signed counterparts; benchmark
+  values stay far below the signed/unsigned divergence point.
+* Code addresses must not be materialised as data (function-pointer tables
+  are not translatable) because ART-9 instruction addresses differ from
+  RV-32 byte addresses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.isa.assembler import split_constant
+from repro.isa.instructions import Instruction
+from repro.riscv.isa import RVInstruction
+from repro.riscv.program import RVProgram
+from repro.ternary.word import TernaryWord, WORD_TRITS
+from repro.xlate.errors import TranslationError
+from repro.xlate.ir import LabelMarker, TranslationUnit, VirtualRegisterFile, V_ZERO
+
+#: TDM word address loaded into the stack pointer by the translated prologue.
+#: The value keeps the (byte-addressed) stack clear of both the program data
+#: growing up from address 0 and the register spill slots at the top of the
+#: address space.
+STACK_TOP_ADDRESS = 9000
+
+_WORD_MIN, _WORD_MAX = TernaryWord.value_range(WORD_TRITS)
+
+
+class InstructionMapper:
+    """Maps one RV-32 program into an ART-9 :class:`TranslationUnit`."""
+
+    def __init__(self, vregs: Optional[VirtualRegisterFile] = None):
+        self.vregs = vregs or VirtualRegisterFile()
+        self._label_counter = 0
+
+    def _fresh_label(self, stem: str) -> str:
+        """Return a unique local label for mapper-generated control flow."""
+        self._label_counter += 1
+        return f".L{stem}_{self._label_counter}"
+
+    # -- public entry point --------------------------------------------------------
+
+    def map_program(self, program: RVProgram) -> TranslationUnit:
+        """Translate every instruction of ``program`` (data is copied through)."""
+        unit = TranslationUnit(name=f"{program.name}.art9")
+        for segment in program.data:
+            # RV word i lives at byte address 4*i; the translated code keeps
+            # byte addressing, so the word is stored at TDM address 4*i.
+            while len(unit.data_words) < (segment.base_address // 4 + len(segment.values)) * 4:
+                unit.data_words.append(0)
+            for offset, value in enumerate(segment.values):
+                self._check_constant(value, "data word")
+                unit.data_words[segment.base_address + 4 * offset] = value
+
+        branch_targets = self._collect_branch_targets(program)
+
+        self._emit_prologue(unit)
+        for index, instruction in enumerate(program.instructions):
+            if index in branch_targets:
+                unit.append(LabelMarker(branch_targets[index]))
+            self._map_instruction(unit, program, index, instruction)
+        return unit
+
+    # -- helpers ----------------------------------------------------------------------
+
+    def _collect_branch_targets(self, program: RVProgram) -> Dict[int, str]:
+        """Generate a label for every RV instruction index that is jumped to."""
+        targets: Dict[int, str] = {}
+        for index, instruction in enumerate(program.instructions):
+            spec = instruction.spec
+            if not (spec.is_branch or instruction.mnemonic == "jal"):
+                continue
+            if instruction.imm is None:
+                raise TranslationError(f"unresolved branch target in {instruction.render()}")
+            target_index = (4 * index + instruction.imm) // 4
+            if not 0 <= target_index <= len(program.instructions):
+                raise TranslationError(
+                    f"branch target {target_index} outside program in {instruction.render()}"
+                )
+            targets.setdefault(target_index, f".L{target_index}")
+        return targets
+
+    def _target_label(self, index: int, imm: int) -> str:
+        return f".L{(4 * index + imm) // 4}"
+
+    def _check_constant(self, value: int, what: str) -> None:
+        if not _WORD_MIN <= value <= _WORD_MAX:
+            raise TranslationError(
+                f"{what} {value} does not fit the 9-trit range "
+                f"[{_WORD_MIN}, {_WORD_MAX}]; scale the workload down"
+            )
+
+    def _emit_prologue(self, unit: TranslationUnit) -> None:
+        """Initialise the stack pointer (the RV simulator does this implicitly)."""
+        self._emit_constant(unit, 2, STACK_TOP_ADDRESS)
+
+    def _emit_constant(self, unit: TranslationUnit, vreg: int, value: int) -> None:
+        """Materialise a full-width constant into ``vreg`` (LUI/LI pair)."""
+        self._check_constant(value, "constant")
+        high, low = split_constant(value)
+        unit.append(Instruction("LUI", ta=vreg, imm=high))
+        unit.append(Instruction("LI", ta=vreg, imm=low))
+
+    def _emit_move(self, unit: TranslationUnit, dst: int, src: int) -> None:
+        if dst != src:
+            unit.append(Instruction("MV", ta=dst, tb=src))
+
+    def _helper_call(self, unit: TranslationUnit, helper: str, arg0: int, arg1: int, result: int,
+                     second_result: bool = False) -> None:
+        """Emit a call to a runtime helper and move its result into ``result``."""
+        from repro.xlate.runtime import HELPER_LABELS
+
+        unit.required_helpers.add(helper)
+        reg = self.vregs.named_temp
+        self._emit_move(unit, reg("helper_arg0"), arg0)
+        self._emit_move(unit, reg("helper_arg1"), arg1)
+        unit.append(Instruction("JAL", ta=reg("helper_link"), label=HELPER_LABELS[helper]))
+        source = reg("helper_ret2") if second_result else reg("helper_ret")
+        self._emit_move(unit, result, source)
+
+    # -- per-instruction mapping ----------------------------------------------------------
+
+    def _map_instruction(self, unit: TranslationUnit, program: RVProgram,
+                         index: int, instr: RVInstruction) -> None:
+        mnemonic = instr.mnemonic
+        source_text = instr.render()
+
+        def emit(art_mnemonic: str, **fields) -> None:
+            unit.append(Instruction(art_mnemonic, source=source_text, **fields))
+
+        rd, rs1, rs2, imm = instr.rd, instr.rs1, instr.rs2, instr.imm
+
+        # Writes to x0 are architectural no-ops (except for their side effects,
+        # which none of the mapped instructions have).
+        if instr.spec.writes_rd and rd == 0 and not instr.spec.is_jump:
+            return
+
+        if mnemonic in ("ecall", "ebreak"):
+            emit("HALT")
+            return
+
+        if mnemonic == "lui":
+            self._emit_constant(unit, rd, imm << 12)
+            return
+        if mnemonic == "auipc":
+            raise TranslationError(
+                f"auipc is not translatable (code addresses differ between the ISAs): {source_text}"
+            )
+
+        if mnemonic == "addi":
+            self._emit_move(unit, rd, rs1)
+            if imm != 0 or rd == rs1:
+                emit("ADDI", ta=rd, imm=imm)
+            return
+        if mnemonic in ("andi", "ori", "xori"):
+            ternary = {"andi": "AND", "ori": "OR", "xori": "XOR"}[mnemonic]
+            temp = self.vregs.named_temp("map_imm")
+            self._emit_constant(unit, temp, imm)
+            self._emit_move(unit, rd, rs1)
+            emit(ternary, ta=rd, tb=temp)
+            return
+
+        if mnemonic in ("add", "sub", "and", "or", "xor"):
+            ternary = {"add": "ADD", "sub": "SUB", "and": "AND", "or": "OR", "xor": "XOR"}[mnemonic]
+            commutative = mnemonic in ("add", "and", "or", "xor")
+            if rd == rs1:
+                emit(ternary, ta=rd, tb=rs2)
+            elif rd == rs2 and commutative:
+                emit(ternary, ta=rd, tb=rs1)
+            elif rd == rs2:
+                temp = self.vregs.named_temp("map_tmp")
+                self._emit_move(unit, temp, rs1)
+                emit(ternary, ta=temp, tb=rs2)
+                self._emit_move(unit, rd, temp)
+            else:
+                self._emit_move(unit, rd, rs1)
+                emit(ternary, ta=rd, tb=rs2)
+            return
+
+        if mnemonic == "slli":
+            self._map_shift_left_constant(unit, rd, rs1, imm)
+            return
+        if mnemonic in ("srli", "srai"):
+            temp = self.vregs.named_temp("map_imm")
+            self._emit_constant(unit, temp, 1 << imm)
+            self._helper_call(unit, "div", rs1, temp, rd)
+            return
+        if mnemonic == "sll":
+            self._helper_call(unit, "sll", rs1, rs2, rd)
+            return
+        if mnemonic in ("srl", "sra"):
+            # Compute 2**rs2 through the shift helper, then divide.
+            temp = self.vregs.named_temp("map_imm")
+            one = self.vregs.named_temp("map_one")
+            self._emit_constant(unit, one, 1)
+            self._helper_call(unit, "sll", one, rs2, temp)
+            self._helper_call(unit, "div", rs1, temp, rd)
+            return
+
+        if mnemonic in ("slt", "slti", "sltu", "sltiu"):
+            self._map_set_less_than(unit, instr)
+            return
+
+        if mnemonic in ("mul", "mulh", "mulhu"):
+            if mnemonic != "mul":
+                raise TranslationError(
+                    f"high-half multiplies are meaningless on the 9-trit datapath: {source_text}"
+                )
+            self._helper_call(unit, "mul", rs1, rs2, rd)
+            return
+        if mnemonic in ("div", "divu"):
+            self._helper_call(unit, "div", rs1, rs2, rd)
+            return
+        if mnemonic in ("rem", "remu"):
+            self._helper_call(unit, "div", rs1, rs2, rd, second_result=True)
+            return
+
+        if mnemonic in ("lw", "lb", "lbu", "lh", "lhu"):
+            emit("LOAD", ta=rd, tb=rs1, imm=imm)
+            return
+        if mnemonic in ("sw", "sb", "sh"):
+            emit("STORE", ta=rs2, tb=rs1, imm=imm)
+            return
+
+        if instr.spec.is_branch:
+            self._map_branch(unit, index, instr)
+            return
+
+        if mnemonic == "jal":
+            destination = self.vregs.named_temp("discard") if rd == 0 else rd
+            emit("JAL", ta=destination, label=self._target_label(index, imm))
+            return
+        if mnemonic == "jalr":
+            destination = self.vregs.named_temp("discard") if rd == 0 else rd
+            emit("JALR", ta=destination, tb=rs1, imm=imm or 0)
+            return
+
+        raise TranslationError(f"no ART-9 mapping for {source_text}")
+
+    def _map_shift_left_constant(self, unit: TranslationUnit, rd: int, rs1: int, amount: int) -> None:
+        """``slli rd, rs1, k`` becomes a doubling chain of k additions."""
+        if amount < 0 or amount > 13:
+            raise TranslationError(f"unreasonable shift amount {amount}")
+        self._emit_move(unit, rd, rs1)
+        for _ in range(amount):
+            unit.append(Instruction("ADD", ta=rd, tb=rd))
+
+    def _map_set_less_than(self, unit: TranslationUnit, instr: RVInstruction) -> None:
+        """slt/slti and their unsigned forms via COMP plus a conditional increment."""
+        rd = instr.rd
+        compare = self.vregs.named_temp("map_cmp")
+        other = self.vregs.named_temp("map_imm")
+        self._emit_move(unit, compare, instr.rs1)
+        if instr.mnemonic in ("slti", "sltiu"):
+            self._emit_constant(unit, other, instr.imm)
+        else:
+            other = instr.rs2
+        unit.append(Instruction("COMP", ta=compare, tb=other))
+        # rd = 0, then rd += 1 when the comparison result is "less".
+        unit.append(Instruction("MV", ta=rd, tb=V_ZERO))
+        skip = self._fresh_label("slt")
+        unit.append(Instruction("BNE", tb=compare, branch_trit=-1, label=skip))
+        unit.append(Instruction("ADDI", ta=rd, imm=1))
+        unit.append(LabelMarker(skip))
+
+    def _map_branch(self, unit: TranslationUnit, index: int, instr: RVInstruction) -> None:
+        """Conditional branches: COMP into a temporary, then BEQ/BNE on its trit."""
+        target = self._target_label(index, instr.imm)
+        compare = self.vregs.named_temp("map_cmp")
+        self._emit_move(unit, compare, instr.rs1)
+        unit.append(Instruction("COMP", ta=compare, tb=instr.rs2, source=instr.render()))
+        mapping = {
+            "beq": ("BEQ", 0),
+            "bne": ("BNE", 0),
+            "blt": ("BEQ", -1),
+            "bltu": ("BEQ", -1),
+            "bge": ("BNE", -1),
+            "bgeu": ("BNE", -1),
+        }
+        art_mnemonic, trit = mapping[instr.mnemonic]
+        unit.append(Instruction(art_mnemonic, tb=compare, branch_trit=trit, label=target,
+                                source=instr.render()))

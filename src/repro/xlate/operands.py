@@ -1,0 +1,90 @@
+"""Operand conversion: legalising immediates for the ternary fields.
+
+The ART-9 immediate fields are narrow (3 trits for ADDI/ANDI/LOAD/STORE,
+4 for LUI, 5 for LI/JAL), so the binary immediates surviving the mapping
+pass may not fit.  This pass rewrites any out-of-range immediate into a
+LUI/LI constant construction in a translator temporary, plus the address /
+operand arithmetic needed to keep the original semantics:
+
+* ``ADDI rd, imm``            → ``LUI/LI tmp, imm`` ; ``ADD rd, tmp``
+* ``LOAD rd, base, imm``      → ``LUI/LI tmp, imm`` ; ``ADD tmp, base`` ;
+  ``LOAD rd, tmp, 0`` (and the STORE equivalent)
+* ``ANDI rd, imm``            → constant construction + ternary ``AND``
+
+Branch and jump immediates are *not* handled here: they stay symbolic until
+the final layout pass, which re-computes and relaxes them (the paper's
+"re-calculates the branch target addresses" step).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.assembler import split_constant
+from repro.isa.formats import imm_range
+from repro.isa.instructions import Instruction
+from repro.xlate.ir import LabelMarker, TranslationUnit, VirtualRegisterFile
+
+
+def _fits(mnemonic: str, value: int) -> bool:
+    lo, hi = imm_range(mnemonic)
+    return lo <= value <= hi
+
+
+def _constant_items(vreg: int, value: int) -> List[Instruction]:
+    high, low = split_constant(value)
+    return [Instruction("LUI", ta=vreg, imm=high), Instruction("LI", ta=vreg, imm=low)]
+
+
+def convert_operands(unit: TranslationUnit, vregs: VirtualRegisterFile) -> TranslationUnit:
+    """Return a new unit in which every numeric immediate fits its field."""
+    result = TranslationUnit(
+        name=unit.name, data_words=list(unit.data_words),
+        required_helpers=set(unit.required_helpers),
+    )
+
+    for item in unit.items:
+        if isinstance(item, LabelMarker):
+            result.append(item)
+            continue
+        instruction = item
+        mnemonic = instruction.mnemonic
+        imm = instruction.imm
+
+        # Symbolic targets (labels) are resolved by the layout pass.
+        if imm is None or _fits(mnemonic, imm):
+            result.append(instruction)
+            continue
+
+        temp = vregs.named_temp("operand_tmp")
+        if mnemonic == "ADDI":
+            result.extend(_constant_items(temp, imm))
+            result.append(Instruction("ADD", ta=instruction.ta, tb=temp, source=instruction.source))
+        elif mnemonic == "ANDI":
+            result.extend(_constant_items(temp, imm))
+            result.append(Instruction("AND", ta=instruction.ta, tb=temp, source=instruction.source))
+        elif mnemonic in ("SRI", "SLI"):
+            # Shift amounts are architecturally 0..8; anything larger clears
+            # or saturates the word, so clamp to the field range.
+            clamped = max(min(imm, 4), -4)
+            result.append(instruction.copy(imm=clamped))
+        elif mnemonic in ("LOAD", "STORE"):
+            result.extend(_constant_items(temp, imm))
+            result.append(Instruction("ADD", ta=temp, tb=instruction.tb, source=instruction.source))
+            result.append(instruction.copy(tb=temp, imm=0))
+        elif mnemonic in ("LUI", "LI"):
+            # These are produced by split_constant and always fit; reaching
+            # this branch means the constant itself was out of word range.
+            raise ValueError(
+                f"constant too large for the 9-trit datapath: {instruction.render()}"
+            )
+        elif mnemonic == "JALR":
+            result.extend(_constant_items(temp, imm))
+            result.append(Instruction("ADD", ta=temp, tb=instruction.tb, source=instruction.source))
+            result.append(instruction.copy(tb=temp, imm=0))
+        else:
+            raise ValueError(
+                f"do not know how to legalise the immediate of {instruction.render()}"
+            )
+
+    return result

@@ -1,0 +1,148 @@
+"""Redundancy checking: removal of meaningless instructions.
+
+The mapping, operand-conversion and register-renaming steps deliberately err
+on the side of emitting too much code (extra moves, reloads of values that
+are already in a register, identity operations).  This pass — the
+"redundancy checking phase" of Fig. 2 — removes them again:
+
+* identity operations (``MV Ta, Ta``, ``ADDI Ta, 0``);
+* a LOAD that immediately re-reads the TDM slot written by the preceding
+  STORE (replaced by a register move, or dropped entirely);
+* identical back-to-back LOADs from the same address;
+* locally dead register writes (a value overwritten before anyone reads it
+  within the same basic block).
+
+All rules are *local*: they never look past a label, branch, jump or memory
+side effect that could make the transformation unsafe.  The pass iterates
+until it reaches a fixed point.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.isa.instructions import Instruction
+from repro.xlate.ir import LabelMarker, TranslationUnit
+
+
+def _is_identity(instruction: Instruction) -> bool:
+    """True for operations that provably leave the architectural state unchanged."""
+    if instruction.mnemonic == "MV" and instruction.ta == instruction.tb:
+        return True
+    if instruction.mnemonic in ("ADDI", "SRI", "SLI") and (instruction.imm or 0) == 0:
+        return True
+    return False
+
+
+def _same_memory_slot(a: Instruction, b: Instruction) -> bool:
+    """True when two M-type instructions address the same TDM cell."""
+    return a.tb == b.tb and (a.imm or 0) == (b.imm or 0)
+
+
+def _block_boundary(item) -> bool:
+    """True for items that end a basic block (labels and control transfers)."""
+    if isinstance(item, LabelMarker):
+        return True
+    return item.spec.is_control or item.mnemonic == "HALT"
+
+
+def _reads_register(instruction: Instruction, register: int) -> bool:
+    """True when ``instruction`` observes the value of ``register``."""
+    return register in instruction.sources()
+
+
+def _writes_register(instruction: Instruction, register: Optional[int]) -> bool:
+    """True when ``instruction`` overwrites ``register``."""
+    return register is not None and instruction.destination() == register
+
+
+def _pure_register_write(instruction: Instruction) -> bool:
+    """True for instructions whose only effect is writing their Ta register."""
+    spec = instruction.spec
+    return spec.writes_ta and not (spec.is_load or spec.is_store or spec.is_control)
+
+
+def _dead_write_indices(items: List) -> set:
+    """Indices of locally dead register writes (overwritten before any read)."""
+    dead = set()
+    for index, item in enumerate(items):
+        if isinstance(item, LabelMarker) or not _pure_register_write(item):
+            continue
+        destination = item.destination()
+        if destination is None:
+            continue
+        for follower in items[index + 1:]:
+            if _block_boundary(follower):
+                break
+            if _reads_register(follower, destination):
+                break
+            if _writes_register(follower, destination):
+                dead.add(index)
+                break
+            if follower.spec.is_load and follower.destination() == destination:
+                dead.add(index)
+                break
+    return dead
+
+
+def _peephole_pass(items: List) -> List:
+    """One bottom-up peephole sweep; returns the rewritten item list."""
+    dead = _dead_write_indices(items)
+    result: List = []
+    index = 0
+    while index < len(items):
+        item = items[index]
+        if isinstance(item, LabelMarker):
+            result.append(item)
+            index += 1
+            continue
+
+        if index in dead or _is_identity(item):
+            index += 1
+            continue
+
+        nxt = items[index + 1] if index + 1 < len(items) else None
+        if (
+            item.mnemonic == "STORE"
+            and isinstance(nxt, Instruction)
+            and nxt.mnemonic == "LOAD"
+            and _same_memory_slot(item, nxt)
+        ):
+            # The loaded value is exactly what was just stored.
+            result.append(item)
+            if nxt.ta != item.ta:
+                result.append(Instruction("MV", ta=nxt.ta, tb=item.ta, source=nxt.source))
+            index += 2
+            continue
+
+        if (
+            item.mnemonic == "LOAD"
+            and isinstance(nxt, Instruction)
+            and nxt.mnemonic == "LOAD"
+            and nxt.ta == item.ta
+            and _same_memory_slot(item, nxt)
+        ):
+            result.append(item)
+            index += 2
+            continue
+
+        result.append(item)
+        index += 1
+    return result
+
+
+def remove_redundancies(unit: TranslationUnit, max_iterations: int = 10) -> TranslationUnit:
+    """Run the peephole rules to a fixed point and return the reduced unit."""
+    items = list(unit.items)
+    for _ in range(max_iterations):
+        rewritten = _peephole_pass(items)
+        if len(rewritten) == len(items):
+            items = rewritten
+            break
+        items = rewritten
+    return TranslationUnit(
+        items=items,
+        name=unit.name,
+        data_words=list(unit.data_words),
+        required_helpers=set(unit.required_helpers),
+    )

@@ -1,0 +1,249 @@
+"""Register renaming: virtual registers onto the nine ternary registers.
+
+The paper's operand-conversion step "also supports the register renaming
+when the given ternary ISA uses fewer general-purposed registers than the
+baseline binary processor" (Sec. III-A).  This pass implements that renaming
+with a frequency-guided direct assignment plus spilling:
+
+===========  ===================================================================
+T0           the RV ``x0`` (never written, reads as zero)
+T1..T3       the most frequently used remaining virtual registers (T4 too
+             when no runtime helpers are needed)
+T4           the runtime-helper link register (when helpers are present)
+T5           scratch for spilled Ta operands; also the "discard" register
+             used for link values nobody reads
+T6           scratch for spilled Tb operands and far spill-slot addresses
+T7           the RV stack pointer ``x2``
+T8           the RV return address ``x1``
+===========  ===================================================================
+
+Every other virtual register is *spilled* to a dedicated TDM slot at the top
+of the ternary address space (slot ``k`` lives at address ``-(k+1)`` modulo
+``3**9``), where the first 13 slots are reachable with a single LOAD/STORE
+relative to T0 and farther slots need an address materialisation pair.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.assembler import split_constant
+from repro.isa.instructions import Instruction
+from repro.ternary.word import WORD_TRITS
+from repro.xlate.errors import TranslationError
+from repro.xlate.ir import LabelMarker, TranslationUnit, VirtualRegisterFile, V_RA, V_SP, V_ZERO
+
+#: Physical register indices with a fixed role.
+PHYS_ZERO = 0
+PHYS_HELPER_LINK = 4
+PHYS_SCRATCH_A = 5   # spilled Ta operands / discard register
+PHYS_SCRATCH_B = 6   # spilled Tb operands / far-slot addresses
+PHYS_SP = 7
+PHYS_RA = 8
+
+#: Number of spill slots reachable with a single LOAD/STORE via T0.
+NEAR_SLOTS = 13
+
+
+@dataclass
+class RegisterAllocation:
+    """Result of the renaming pass: where every virtual register lives."""
+
+    direct: Dict[int, int] = field(default_factory=dict)
+    spilled: Dict[int, int] = field(default_factory=dict)  # virtual -> slot index
+    usage: Dict[int, int] = field(default_factory=dict)
+    #: True when T5/T6 are reserved as spill scratch registers (and therefore
+    #: safe for the layout pass to clobber during branch relaxation).
+    uses_scratch: bool = False
+
+    def slot_address(self, slot: int) -> int:
+        """Unsigned TDM address of spill slot ``slot``."""
+        return (3 ** WORD_TRITS) - (slot + 1)
+
+    def locate(self, virtual: int) -> Tuple[str, int]:
+        """Return ``("reg", physical_index)`` or ``("slot", tdm_address)``."""
+        if virtual in self.direct:
+            return "reg", self.direct[virtual]
+        if virtual in self.spilled:
+            return "slot", self.slot_address(self.spilled[virtual])
+        # A register the program never touches keeps its reset value of zero;
+        # report it as the zero register so lookups stay total.
+        return "reg", PHYS_ZERO
+
+    def describe(self) -> str:
+        """Human-readable allocation table (for reports and debugging)."""
+        lines = ["virtual   location   static uses"]
+        entries = sorted(set(self.direct) | set(self.spilled))
+        for virtual in entries:
+            kind, where = self.locate(virtual)
+            location = f"T{where}" if kind == "reg" else f"TDM[{where}]"
+            lines.append(f"v{virtual:<8d} {location:<10s} {self.usage.get(virtual, 0)}")
+        return "\n".join(lines)
+
+
+class RegisterAllocator:
+    """Performs the renaming and rewrites the instruction stream."""
+
+    def __init__(self, vregs: VirtualRegisterFile):
+        self.vregs = vregs
+
+    # -- assignment -------------------------------------------------------------
+
+    def _usage_counts(self, unit: TranslationUnit) -> Counter:
+        usage = Counter()
+        for instruction in unit.instructions():
+            spec = instruction.spec
+            if "ta" in spec.operands and instruction.ta is not None:
+                usage[instruction.ta] += 1
+            if "tb" in spec.operands and instruction.tb is not None:
+                usage[instruction.tb] += 1
+        return usage
+
+    def _attempt(self, unit: TranslationUnit, usage: Counter, reserve_scratch: bool) -> RegisterAllocation:
+        """Build one candidate allocation.
+
+        With ``reserve_scratch`` False, T5/T6 join the direct pool; the
+        result is only usable when *nothing* spills (there would be no
+        scratch registers to route spilled operands through).
+        """
+        allocation = RegisterAllocation(usage=dict(usage), uses_scratch=reserve_scratch)
+        reserved = set()
+
+        # Conditional pins: only claim the conventional registers the
+        # program actually relies on.
+        if usage.get(V_ZERO, 0) > 0:
+            allocation.direct[V_ZERO] = PHYS_ZERO
+            reserved.add(PHYS_ZERO)
+        if usage.get(V_RA, 0) > 0:
+            allocation.direct[V_RA] = PHYS_RA
+            reserved.add(PHYS_RA)
+        if usage.get(V_SP, 0) > 0:
+            allocation.direct[V_SP] = PHYS_SP
+            reserved.add(PHYS_SP)
+
+        helpers_present = bool(unit.required_helpers)
+        helper_link = self.vregs.named.get("helper_link")
+        if helpers_present and helper_link is not None:
+            allocation.direct[helper_link] = PHYS_HELPER_LINK
+            reserved.add(PHYS_HELPER_LINK)
+
+        discard = self.vregs.named.get("discard")
+        if reserve_scratch:
+            reserved.update((PHYS_SCRATCH_A, PHYS_SCRATCH_B))
+            if discard is not None:
+                # The discard register is write-only, so it can share the
+                # Ta-scratch without ever holding a live value.
+                allocation.direct[discard] = PHYS_SCRATCH_A
+
+        pool = [phys for phys in range(1, 9) if phys not in reserved]
+        if not reserve_scratch and PHYS_ZERO not in reserved:
+            pool.append(PHYS_ZERO)
+
+        candidates = [
+            (count, virtual)
+            for virtual, count in usage.items()
+            if virtual not in allocation.direct
+        ]
+        candidates.sort(key=lambda pair: (-pair[0], pair[1]))
+        for (count, virtual), physical in zip(candidates, pool):
+            allocation.direct[virtual] = physical
+
+        next_slot = 0
+        for count, virtual in candidates:
+            if virtual in allocation.direct:
+                continue
+            allocation.spilled[virtual] = next_slot
+            next_slot += 1
+        return allocation
+
+    def build_allocation(self, unit: TranslationUnit, force_scratch: bool = False) -> RegisterAllocation:
+        """Choose direct registers and spill slots for every virtual register.
+
+        The allocator first tries to rename every virtual register directly
+        (using all nine physical registers); only when that is impossible —
+        or when ``force_scratch`` demands it, e.g. because the layout pass
+        needs clobberable scratch registers for branch relaxation — does it
+        fall back to the spilling configuration with T5/T6 reserved.
+        """
+        usage = self._usage_counts(unit)
+        if not force_scratch:
+            attempt = self._attempt(unit, usage, reserve_scratch=False)
+            if not attempt.spilled:
+                return attempt
+        return self._attempt(unit, usage, reserve_scratch=True)
+
+    # -- rewriting ------------------------------------------------------------------
+
+    def _slot_load(self, scratch: int, slot: int) -> List[Instruction]:
+        if slot < NEAR_SLOTS:
+            return [Instruction("LOAD", ta=scratch, tb=PHYS_ZERO, imm=-(slot + 1))]
+        high, low = split_constant(-(slot + 1))
+        return [
+            Instruction("LUI", ta=scratch, imm=high),
+            Instruction("LI", ta=scratch, imm=low),
+            Instruction("LOAD", ta=scratch, tb=scratch, imm=0),
+        ]
+
+    def _slot_store(self, value_reg: int, slot: int) -> List[Instruction]:
+        if slot < NEAR_SLOTS:
+            return [Instruction("STORE", ta=value_reg, tb=PHYS_ZERO, imm=-(slot + 1))]
+        high, low = split_constant(-(slot + 1))
+        return [
+            Instruction("LUI", ta=PHYS_SCRATCH_B, imm=high),
+            Instruction("LI", ta=PHYS_SCRATCH_B, imm=low),
+            Instruction("STORE", ta=value_reg, tb=PHYS_SCRATCH_B, imm=0),
+        ]
+
+    def rewrite(self, unit: TranslationUnit, allocation: Optional[RegisterAllocation] = None,
+                force_scratch: bool = False) -> Tuple[TranslationUnit, RegisterAllocation]:
+        """Rewrite ``unit`` onto physical registers, inserting spill code."""
+        allocation = allocation or self.build_allocation(unit, force_scratch=force_scratch)
+        result = TranslationUnit(
+            name=unit.name, data_words=list(unit.data_words),
+            required_helpers=set(unit.required_helpers),
+        )
+
+        for item in unit.items:
+            if isinstance(item, LabelMarker):
+                result.append(item)
+                continue
+            for rewritten in self._rewrite_instruction(item, allocation):
+                result.append(rewritten)
+        return result, allocation
+
+    def _rewrite_instruction(self, instruction: Instruction,
+                             allocation: RegisterAllocation) -> List[Instruction]:
+        spec = instruction.spec
+        pre: List[Instruction] = []
+        post: List[Instruction] = []
+        rewritten = instruction.copy()
+
+        if "tb" in spec.operands and instruction.tb is not None:
+            kind, _ = allocation.locate(instruction.tb)
+            if kind == "reg":
+                rewritten.tb = allocation.direct.get(instruction.tb, PHYS_ZERO)
+            else:
+                slot = allocation.spilled[instruction.tb]
+                pre.extend(self._slot_load(PHYS_SCRATCH_B, slot))
+                rewritten.tb = PHYS_SCRATCH_B
+
+        if "ta" in spec.operands and instruction.ta is not None:
+            kind, _ = allocation.locate(instruction.ta)
+            if kind == "reg":
+                rewritten.ta = allocation.direct.get(instruction.ta, PHYS_ZERO)
+            else:
+                slot = allocation.spilled[instruction.ta]
+                if spec.is_jump:
+                    raise TranslationError(
+                        "the link register of a JAL/JALR was spilled; only x1/ra "
+                        f"(or a discarded link) may receive return addresses: {instruction.render()}"
+                    )
+                if spec.reads_ta:
+                    pre.extend(self._slot_load(PHYS_SCRATCH_A, slot))
+                rewritten.ta = PHYS_SCRATCH_A
+                if spec.writes_ta:
+                    post.extend(self._slot_store(PHYS_SCRATCH_A, slot))
+
+        return pre + [rewritten] + post

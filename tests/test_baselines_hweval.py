@@ -1,0 +1,166 @@
+"""Tests for the baseline cycle models and the hardware-level framework."""
+
+import pytest
+
+from repro.baselines import ARMv6MCodeSizeModel, PicoRV32CycleCosts, PicoRV32Model, VexRiscvModel
+from repro.hweval import (
+    DhrystoneMetrics,
+    FPGAEmulationModel,
+    GateLevelAnalyzer,
+    PerformanceEstimator,
+    cntfet_32nm_library,
+    stratix_v_model,
+)
+from repro.hweval.netlist import MemorySizing, art9_datapath_netlist
+from repro.hweval.technology import GateKind, GateProperties, TechnologyLibrary
+from repro.riscv import assemble_riscv
+
+LOOP = """
+    li t0, 0
+    li t1, 50
+loop:
+    lw a0, 0(zero)
+    addi a0, a0, 3
+    sw a0, 0(zero)
+    addi t0, t0, 1
+    blt t0, t1, loop
+    ecall
+.data
+x: .word 0
+"""
+
+
+class TestPicoRV32Model:
+    def test_cpi_is_in_documented_range(self):
+        result = PicoRV32Model().run(assemble_riscv(LOOP, name="loop"))
+        assert 3.0 <= result.cpi <= 6.0
+        assert result.core == "PicoRV32"
+        assert result.cycles > result.instructions
+
+    def test_mul_is_expensive(self):
+        base = PicoRV32Model().run(assemble_riscv("li a0, 3\nli a1, 4\nadd a2, a0, a1\necall"))
+        mul = PicoRV32Model().run(assemble_riscv("li a0, 3\nli a1, 4\nmul a2, a0, a1\necall"))
+        assert mul.cycles - base.cycles >= 30
+
+    def test_shift_cost_scales_with_amount(self):
+        short = PicoRV32Model().run(assemble_riscv("li a0, 1\nslli a1, a0, 1\necall"))
+        long = PicoRV32Model().run(assemble_riscv("li a0, 1\nslli a1, a0, 20\necall"))
+        assert long.cycles > short.cycles
+
+    def test_custom_costs(self):
+        costs = PicoRV32CycleCosts(alu=1, load=1, store=1, branch_taken=1,
+                                   branch_not_taken=1, jump=1, shift_base=1,
+                                   shift_per_bit=0, mul_div=1, system=1)
+        result = PicoRV32Model(costs).run(assemble_riscv("li a0, 1\necall"))
+        assert result.cycles == result.instructions
+
+
+class TestVexRiscvModel:
+    def test_pipelined_cpi_close_to_one(self):
+        result = VexRiscvModel().run(assemble_riscv(LOOP, name="loop"))
+        assert 1.0 <= result.cpi <= 2.0
+
+    def test_load_use_detection(self):
+        hazard = VexRiscvModel().run(assemble_riscv(
+            "lw a0, 0(zero)\naddi a0, a0, 1\necall"))
+        assert hazard.detail["load_use_stalls"] == 1
+
+    def test_faster_than_picorv32(self):
+        program = assemble_riscv(LOOP, name="loop")
+        assert VexRiscvModel().run(program).cycles < PicoRV32Model().run(program).cycles
+
+
+class TestARMv6MCodeSize:
+    def test_thumb_code_smaller_than_rv32_in_bits(self):
+        program = assemble_riscv(LOOP, name="loop")
+        model = ARMv6MCodeSizeModel()
+        estimate = model.estimate(program)
+        assert estimate.total_bits < program.instruction_memory_bits()
+        assert estimate.thumb_instructions >= len(program.instructions)
+
+    def test_literal_pool_for_large_constants(self):
+        program = assemble_riscv("li a0, 1000000\necall")
+        estimate = ARMv6MCodeSizeModel().estimate(program)
+        assert estimate.literal_pool_words == 1
+
+
+class TestGateLevelAnalyzer:
+    def setup_method(self):
+        self.analyzer = GateLevelAnalyzer()
+        self.library = cntfet_32nm_library()
+
+    def test_gate_count_matches_paper_scale(self):
+        report = self.analyzer.analyze(self.library)
+        assert 550 <= report.total_gates <= 750   # Table IV reports 652
+
+    def test_stage_breakdown_covers_all_stages(self):
+        by_stage = self.analyzer.gate_counts_by_stage()
+        assert set(by_stage) == {"IF", "ID", "EX", "MEM", "WB"}
+        assert sum(by_stage.values()) == self.analyzer.total_gates()
+
+    def test_critical_path_is_the_execute_stage(self):
+        report = self.analyzer.analyze(self.library)
+        assert report.critical_stage == "EX"
+        assert report.max_frequency_mhz == pytest.approx(1e6 / report.critical_delay_ps)
+
+    def test_power_in_tens_of_microwatts(self):
+        report = self.analyzer.analyze(self.library)
+        assert 20.0 <= report.total_power_uw <= 80.0   # Table IV: 42.7 uW
+        assert report.power_at(report.max_frequency_mhz) == pytest.approx(report.total_power_uw)
+        assert report.power_at(report.max_frequency_mhz / 2) < report.total_power_uw
+
+    def test_missing_characterisation_detected(self):
+        incomplete = TechnologyLibrary(name="broken", supply_voltage=1.0)
+        incomplete.add_gate(GateKind.STI, GateProperties(1, 1, 1))
+        with pytest.raises(ValueError):
+            self.analyzer.analyze(incomplete)
+
+    def test_summary_and_describe(self):
+        assert "EX" in self.analyzer.analyze(self.library).summary()
+        assert "TFA" in self.library.describe()
+
+
+class TestFPGAModel:
+    def test_resources_match_table5_scale(self):
+        report = stratix_v_model().estimate()
+        assert 700 <= report.alms <= 900          # Table V: 803 ALMs
+        assert 300 <= report.registers <= 400     # Table V: 339 registers
+        assert report.ram_bits == 9216            # Table V: 9,216 bits
+        assert 0.9 <= report.total_power_w <= 1.3  # Table V: 1.09 W
+
+    def test_memory_sizing(self):
+        memory = MemorySizing(tim_words=128, tdm_words=128)
+        assert memory.total_trits == 256 * 9
+        assert memory.binary_encoded_bits() == 2 * 256 * 9
+
+    def test_custom_frequency_scales_dynamic_power(self):
+        slow = FPGAEmulationModel(frequency_mhz=75.0).estimate()
+        fast = FPGAEmulationModel(frequency_mhz=150.0).estimate()
+        assert fast.dynamic_power_w > slow.dynamic_power_w
+        assert fast.static_power_w == slow.static_power_w
+
+
+class TestPerformanceEstimator:
+    def test_dmips_per_mhz_formula(self):
+        metrics = DhrystoneMetrics(cycles=135_500, iterations=100)
+        assert metrics.cycles_per_iteration == pytest.approx(1355.0)
+        assert metrics.dmips_per_mhz == pytest.approx(1e6 / (1355 * 1757), rel=1e-6)
+
+    def test_cntfet_report_matches_table4_shape(self):
+        estimator = PerformanceEstimator(DhrystoneMetrics(cycles=135_500, iterations=100))
+        gate_report = GateLevelAnalyzer().analyze(cntfet_32nm_library())
+        report = estimator.for_gate_level(gate_report)
+        assert report.dmips_per_watt > 1e6        # Table IV: 3.06e6 DMIPS/W
+        assert "DMIPS/W" in report.summary()
+
+    def test_fpga_report_matches_table5_shape(self):
+        estimator = PerformanceEstimator(DhrystoneMetrics(cycles=135_500, iterations=100))
+        report = estimator.for_fpga(stratix_v_model().estimate())
+        assert 20 <= report.dmips_per_watt <= 120  # Table V: 57.8 DMIPS/W
+        assert report.frequency_mhz == 150.0
+
+    def test_netlist_is_consistent(self):
+        blocks = art9_datapath_netlist()
+        assert all(block.gate_count() > 0 for block in blocks)
+        names = [block.name for block in blocks]
+        assert len(names) == len(set(names))

@@ -1,0 +1,236 @@
+"""Tests for the RV-32I substrate: assembler, encoder, simulator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.riscv import (
+    RVAssemblerError,
+    RVInstruction,
+    RVSimulator,
+    assemble_riscv,
+    encode_rv_instruction,
+    rv_register_index,
+    rv_register_name,
+)
+from repro.riscv.assembler import split_hi_lo
+from repro.riscv.encoder import RVEncodeError
+from repro.riscv.simulator import to_signed32, to_unsigned32
+
+
+class TestRegisters:
+    def test_abi_names(self):
+        assert rv_register_index("zero") == 0
+        assert rv_register_index("ra") == 1
+        assert rv_register_index("sp") == 2
+        assert rv_register_index("a0") == 10
+        assert rv_register_index("x17") == 17
+        assert rv_register_index("fp") == 8
+
+    def test_round_trip(self):
+        for index in range(32):
+            assert rv_register_index(rv_register_name(index)) == index
+
+    def test_bad_register(self):
+        with pytest.raises(ValueError):
+            rv_register_index("x32")
+
+
+class TestSplitHiLo:
+    @pytest.mark.parametrize("value", [0, 1, -1, 0x800, 0xFFF, 0x1000, 123456, -123456, 0x7FFFFFFF])
+    def test_reconstruction(self, value):
+        hi, lo = split_hi_lo(value)
+        assert to_signed32((hi << 12) + lo) == to_signed32(value)
+        assert -2048 <= lo <= 2047
+
+
+class TestAssembler:
+    def test_pseudo_instructions(self):
+        program = assemble_riscv("""
+            li   a0, 5
+            li   a1, 123456
+            mv   a2, a0
+            not  a3, a0
+            neg  a4, a0
+            nop
+            j    end
+            addi a5, a5, 1
+        end:
+            ecall
+        """)
+        mnemonics = [i.mnemonic for i in program]
+        assert mnemonics[0] == "addi"
+        assert mnemonics[1] == "lui" and mnemonics[2] == "addi"   # big li
+        assert "jal" in mnemonics and "ecall" in mnemonics
+
+    def test_branch_offsets_are_byte_relative(self):
+        program = assemble_riscv("""
+        loop:
+            addi t0, t0, 1
+            bne  t0, t1, loop
+            ecall
+        """)
+        assert program[1].imm == -4
+
+    def test_memory_operands(self):
+        program = assemble_riscv("lw a0, 8(sp)\nsw a0, -4(s0)\necall")
+        assert program[0].imm == 8 and program[0].rs1 == 2
+        assert program[1].imm == -4 and program[1].rs2 == 10
+
+    def test_data_section(self):
+        program = assemble_riscv("""
+        .text
+            la a0, table
+            lw a1, 4(a0)
+            ecall
+        .data
+        table: .word 3, 5, 7
+        """)
+        assert program.data[0].values == [3, 5, 7]
+        assert program.data_labels["table"] == 0
+        assert program[0].imm == 0  # la resolved to the absolute data address
+
+    def test_errors(self):
+        with pytest.raises(RVAssemblerError):
+            assemble_riscv("frobnicate a0, a1")
+        with pytest.raises(RVAssemblerError):
+            assemble_riscv("beq a0, a1, nowhere\necall")
+        with pytest.raises(RVAssemblerError):
+            assemble_riscv("lw a0, banana(sp)")
+
+
+class TestEncoder:
+    def test_known_encodings(self):
+        # addi x1, x0, 5  ->  0x00500093 (standard reference encoding)
+        assert encode_rv_instruction(RVInstruction("addi", rd=1, rs1=0, imm=5)) == 0x00500093
+        # add x3, x1, x2  ->  0x002081B3
+        assert encode_rv_instruction(RVInstruction("add", rd=3, rs1=1, rs2=2)) == 0x002081B3
+        # sw x2, 8(x1)    ->  0x0020A423
+        assert encode_rv_instruction(RVInstruction("sw", rs1=1, rs2=2, imm=8)) == 0x0020A423
+        # beq x1, x2, +8  ->  0x00208463
+        assert encode_rv_instruction(RVInstruction("beq", rs1=1, rs2=2, imm=8)) == 0x00208463
+        # ecall           ->  0x00000073
+        assert encode_rv_instruction(RVInstruction("ecall")) == 0x00000073
+
+    def test_all_program_instructions_encode_to_32_bits(self):
+        program = assemble_riscv("""
+            li a0, 77777
+            slli a1, a0, 3
+            srai a2, a0, 2
+            lw a3, 0(sp)
+            sw a3, 4(sp)
+            jal ra, next
+        next:
+            jalr zero, 0(ra)
+            lui a4, 0xFF
+            mul a5, a0, a1
+            ecall
+        """)
+        for instruction in program:
+            word = encode_rv_instruction(instruction)
+            assert 0 <= word < 2 ** 32
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(RVEncodeError):
+            encode_rv_instruction(RVInstruction("addi", rd=1, rs1=0, imm=5000))
+        with pytest.raises(RVEncodeError):
+            encode_rv_instruction(RVInstruction("beq", rs1=0, rs2=0, imm=3))
+
+
+class TestSimulator:
+    def test_arithmetic_and_memory(self):
+        program = assemble_riscv("""
+            li   a0, 1000
+            li   a1, -250
+            add  a2, a0, a1
+            sw   a2, 0(zero)
+            lw   a3, 0(zero)
+            slli a4, a3, 2
+            srai a5, a4, 1
+            ecall
+        """)
+        simulator = RVSimulator(program)
+        result = simulator.run()
+        assert result.register("a2") == 750
+        assert result.register("a3") == 750
+        assert result.register("a4") == 3000
+        assert result.register("a5") == 1500
+
+    def test_x0_is_hardwired_zero(self):
+        program = assemble_riscv("addi zero, zero, 5\nadd a0, zero, zero\necall")
+        result = RVSimulator(program).run()
+        assert result.register("zero") == 0 and result.register("a0") == 0
+
+    def test_branches_and_loops(self):
+        program = assemble_riscv("""
+            li t0, 0
+            li t1, 0
+        loop:
+            addi t1, t1, 3
+            addi t0, t0, 1
+            blt  t0, a0, loop
+            ecall
+        """)
+        simulator = RVSimulator(program)
+        simulator.write_reg(10, 7)
+        result = simulator.run()
+        assert result.register("t1") == 21
+
+    def test_function_call_with_stack(self):
+        program = assemble_riscv("""
+            li   a0, 4
+            jal  ra, square_plus_one
+            ecall
+        square_plus_one:
+            addi sp, sp, -4
+            sw   ra, 0(sp)
+            mul  a0, a0, a0
+            addi a0, a0, 1
+            lw   ra, 0(sp)
+            addi sp, sp, 4
+            ret
+        """)
+        result = RVSimulator(program).run()
+        assert result.register("a0") == 17
+
+    def test_mul_div_rem_conventions(self):
+        program = assemble_riscv("""
+            li a0, -17
+            li a1, 5
+            div a2, a0, a1
+            rem a3, a0, a1
+            li a4, 3
+            li a5, 0
+            div a6, a4, a5
+            rem a7, a4, a5
+            ecall
+        """)
+        result = RVSimulator(program).run()
+        assert result.register("a2") == -3       # truncation toward zero
+        assert result.register("a3") == -2
+        assert result.register("a6") == -1       # divide by zero convention
+        assert result.register("a7") == 3
+
+    def test_signed_unsigned_helpers(self):
+        assert to_signed32(0xFFFFFFFF) == -1
+        assert to_unsigned32(-1) == 0xFFFFFFFF
+
+    def test_class_counts_collected(self):
+        program = assemble_riscv("li a0, 1\nlw a1, 0(zero)\nsw a1, 4(zero)\necall")
+        simulator = RVSimulator(program)
+        simulator.run()
+        assert simulator.class_counts["load"] == 1
+        assert simulator.class_counts["store"] == 1
+
+
+values32 = st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1)
+
+
+class TestSimulatorProperties:
+    @given(values32, values32)
+    def test_add_wraps_like_hardware(self, a, b):
+        program = assemble_riscv("add a2, a0, a1\necall")
+        simulator = RVSimulator(program)
+        simulator.write_reg(10, a)
+        simulator.write_reg(11, b)
+        simulator.run()
+        assert simulator.read_reg(12) == to_signed32(a + b)

@@ -1,0 +1,138 @@
+"""Tests for the functional (architectural) ART-9 simulator."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.sim import FunctionalSimulator, SimulationError
+
+
+def run(source, **kwargs):
+    simulator = FunctionalSimulator(assemble(source), **kwargs)
+    result = simulator.run()
+    return simulator, result
+
+
+class TestArithmeticPrograms:
+    def test_constant_building_and_addition(self):
+        simulator, result = run("""
+            LIW T1, 700
+            LIW T2, 42
+            ADD T1, T2
+            HALT
+        """)
+        assert result.register("T1") == 742
+
+    def test_subtraction_and_negation(self):
+        simulator, result = run("""
+            LIW T1, 100
+            LIW T2, 250
+            SUB T1, T2
+            STI T3, T1
+            HALT
+        """)
+        assert result.register("T1") == -150
+        assert result.register("T3") == 150
+
+    def test_logic_and_shift_instructions(self):
+        simulator, result = run("""
+            LIW T1, 5
+            SLI T1, 2       # 5 * 9 = 45
+            LIW T2, 4
+            SL  T1, T2      # 45 * 81 = 3645
+            SRI T1, 1       # 1215
+            HALT
+        """)
+        assert result.register("T1") == 1215
+
+    def test_comp_and_conditional_branch(self):
+        simulator, result = run("""
+            LIW T1, 10
+            LIW T2, 20
+            MV  T3, T1
+            COMP T3, T2
+            BEQ T3, -1, smaller
+            ADDI T4, 1
+        smaller:
+            ADDI T5, 1
+            HALT
+        """)
+        assert result.register("T4") == 0   # skipped
+        assert result.register("T5") == 1
+
+
+class TestMemoryAndControl:
+    def test_load_store_with_offsets(self):
+        simulator, result = run("""
+            LIW T1, 50
+            LIW T2, 5
+            STORE T1, T2, 3     # TDM[8] = 50
+            LOAD  T3, T2, 3
+            LOAD  T4, T0, 8
+            HALT
+        """)
+        assert result.register("T3") == 50
+        assert result.register("T4") == 50
+        assert simulator.tdm.read_int(8) == 50
+
+    def test_data_segment_is_preloaded(self):
+        simulator, result = run("""
+            LIW T1, table
+            LOAD T2, T1, 1
+            HALT
+        .data
+        table: .word 7, -9, 11
+        """)
+        assert result.register("T2") == -9
+
+    def test_jal_and_jalr_subroutine(self):
+        simulator, result = run("""
+            LIW T1, 5
+            JAL T8, double
+            JAL T8, double
+            HALT
+        double:
+            ADD T1, T1
+            JALR T6, T8, 0
+        """)
+        assert result.register("T1") == 20
+
+    def test_loop_counts_iterations(self):
+        simulator, result = run("""
+            LIW T1, 0
+            LIW T2, 10
+        loop:
+            ADDI T1, 1
+            MV  T3, T1
+            COMP T3, T2
+            BNE T3, 0, loop
+            HALT
+        """)
+        assert result.register("T1") == 10
+        assert result.instruction_mix["ADDI"] == 10
+
+    def test_negative_memory_addresses_wrap(self):
+        simulator, result = run("""
+            LIW T1, 77
+            STORE T1, T0, -1
+            LOAD  T2, T0, -1
+            HALT
+        """)
+        assert result.register("T2") == 77
+        assert simulator.tdm.read_int(3 ** 9 - 1) == 77
+
+
+class TestErrorHandling:
+    def test_runaway_program_detected(self):
+        simulator = FunctionalSimulator(assemble("loop:\nJAL T6, loop"))
+        with pytest.raises(SimulationError):
+            simulator.run(max_instructions=100)
+
+    def test_pc_out_of_range_detected(self):
+        simulator = FunctionalSimulator(assemble("ADDI T1, 1"))  # no HALT
+        with pytest.raises(SimulationError):
+            simulator.run(max_instructions=10)
+
+    def test_step_after_halt_returns_none(self):
+        simulator = FunctionalSimulator(assemble("HALT"))
+        simulator.run()
+        assert simulator.step() is None

@@ -1,0 +1,104 @@
+"""Unit and property tests for TernaryWord."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ternary import TernaryWord, WORD_TRITS
+
+word_values = st.integers(min_value=-9841, max_value=9841)
+
+
+class TestConstruction:
+    def test_default_is_zero(self):
+        assert TernaryWord().value == 0
+        assert TernaryWord.zero().value == 0
+
+    def test_from_int_round_trip(self):
+        assert TernaryWord(742).value == 742
+        assert TernaryWord(-9841).value == -9841
+
+    def test_out_of_range_wraps(self):
+        assert TernaryWord(9842).value == -9841
+
+    def test_from_trits_requires_exact_width(self):
+        with pytest.raises(ValueError):
+            TernaryWord([1, 0], width=9)
+
+    def test_from_trits_classmethod_pads(self):
+        word = TernaryWord.from_trits([1, -1])
+        assert word.width == WORD_TRITS
+        assert word.value == 1 - 3
+
+    def test_from_string(self):
+        assert TernaryWord.from_string("1T", width=9).value == 2
+        assert str(TernaryWord(2)).endswith("1T")
+
+    def test_invalid_trit_rejected(self):
+        with pytest.raises(ValueError):
+            TernaryWord([2] + [0] * 8)
+
+
+class TestAccessors:
+    def test_lst_and_trit(self):
+        word = TernaryWord(5)  # trits little-endian: -1, -1, 1
+        assert word.lst == -1
+        assert word.trit(2) == 1
+
+    def test_slice_matches_field_notation(self):
+        word = TernaryWord.from_trits([1, 0, -1, 1, 0, 0, 0, 0, 0])
+        assert word.slice(2, 0).trits == (1, 0, -1)
+        assert word.slice(3, 3).value == 1
+
+    def test_slice_bounds_checked(self):
+        with pytest.raises(ValueError):
+            TernaryWord(0).slice(9, 0)
+
+    def test_replace_low_implements_li(self):
+        original = TernaryWord(9 ** 4)          # some value with high trits set
+        low = TernaryWord(7, width=5)
+        replaced = original.replace_low(low)
+        assert replaced.trits[:5] == low.trits
+        assert replaced.trits[5:] == original.trits[5:]
+
+    def test_unsigned_view(self):
+        assert TernaryWord(-1).unsigned == 3 ** 9 - 1
+
+    def test_resize(self):
+        assert TernaryWord(5).resize(3).value == 5
+        assert TernaryWord(14).resize(3).value == to_width3(14)
+
+
+def to_width3(value):
+    modulus = 27
+    wrapped = value % modulus
+    return wrapped - modulus if wrapped > 13 else wrapped
+
+
+class TestEqualityHashing:
+    def test_equal_to_int(self):
+        assert TernaryWord(5) == 5
+        assert TernaryWord(5) != 6
+
+    def test_hashable(self):
+        assert len({TernaryWord(1), TernaryWord(1), TernaryWord(2)}) == 2
+
+    def test_iteration_and_len(self):
+        word = TernaryWord(5)
+        assert len(word) == WORD_TRITS
+        assert list(word) == list(word.trits)
+
+
+class TestWordProperties:
+    @given(word_values)
+    def test_value_round_trip(self, value):
+        assert TernaryWord(value).value == value
+
+    @given(word_values)
+    def test_str_parse_round_trip(self, value):
+        word = TernaryWord(value)
+        assert TernaryWord.from_string(str(word)) == word
+
+    @given(word_values, st.integers(min_value=0, max_value=8))
+    def test_slice_single_trit_matches_trit(self, value, index):
+        word = TernaryWord(value)
+        assert word.slice(index, index).value == word.trit(index)

@@ -1,0 +1,140 @@
+"""Integration tests: workloads, framework facades, baselines and the CLI."""
+
+import pytest
+
+from repro.baselines import PicoRV32Model, VexRiscvModel
+from repro.cli import main as cli_main
+from repro.framework import HardwareFramework, SoftwareFramework
+from repro.sim import FunctionalSimulator, PipelineSimulator
+from repro.workloads import all_workloads, get_workload
+from repro.workloads.base import WorkloadResultMismatch, lcg_values
+from repro.workloads.dhrystone import _reference as dhrystone_reference
+from repro.workloads.gemm import _reference as gemm_reference
+from repro.workloads.sobel import _reference as sobel_reference
+
+
+class TestWorkloadDefinitions:
+    def test_registry_contains_the_four_paper_benchmarks(self):
+        assert set(all_workloads()) == {"bubble_sort", "gemm", "sobel", "dhrystone"}
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError):
+            get_workload("fft")
+
+    def test_lcg_is_deterministic(self):
+        assert lcg_values(5, seed=3) == lcg_values(5, seed=3)
+        assert lcg_values(5, seed=3) != lcg_values(5, seed=4)
+
+    def test_gemm_reference_matches_numpy_style_definition(self):
+        a = list(range(16))
+        b = list(range(16, 32))
+        expected = []
+        for i in range(4):
+            for j in range(4):
+                expected.append(sum(a[i * 4 + k] * b[k * 4 + j] for k in range(4)))
+        assert gemm_reference(a, b) == expected
+
+    def test_sobel_reference_flat_image_has_zero_gradient(self):
+        assert sobel_reference([7] * 64) == [0] * 36
+
+    def test_dhrystone_reference_scales_with_iterations(self):
+        short, _ = dhrystone_reference(5)
+        long, _ = dhrystone_reference(25)
+        assert short != long
+
+    def test_mismatch_detection(self):
+        workload = get_workload("bubble_sort")
+        simulator = workload.run_rv_reference()
+        simulator.store_word(0, -99999)
+        with pytest.raises(WorkloadResultMismatch):
+            workload.check_rv_results(simulator)
+
+
+@pytest.mark.parametrize("name", ["bubble_sort", "gemm", "sobel", "dhrystone"])
+class TestWorkloadEquivalence:
+    def test_rv_reference_and_translation_agree(self, name):
+        workload = get_workload(name)
+        workload.run_rv_reference()
+
+        software = SoftwareFramework()
+        program, report = software.compile_workload(workload)
+        assert report.final_instructions > 0
+
+        functional = FunctionalSimulator(program)
+        functional.run(max_instructions=5_000_000)
+        workload.check_ternary_results(functional)
+
+        pipeline = PipelineSimulator(program)
+        stats = pipeline.run(max_cycles=10_000_000)
+        workload.check_ternary_results(pipeline)
+        assert stats.instructions_committed == functional.instructions_executed
+
+
+class TestFrameworkFacades:
+    def test_software_framework_accepts_raw_assembly(self):
+        software = SoftwareFramework()
+        program, report = software.compile_riscv_assembly("li a0, 5\necall", name="inline")
+        assert report.rv_instructions == 2
+        sim = FunctionalSimulator(program)
+        sim.run()
+
+    def test_software_framework_native_assembly(self):
+        program = SoftwareFramework.assemble_ternary("ADDI T1, 3\nHALT")
+        assert len(program) == 2
+
+    def test_hardware_framework_full_evaluation(self):
+        workload = get_workload("bubble_sort")
+        software = SoftwareFramework()
+        program, _ = software.compile_workload(workload)
+        hardware = HardwareFramework()
+        evaluation = hardware.evaluate(program, iterations=workload.iterations)
+        assert evaluation.pipeline_stats.cycles > 0
+        assert evaluation.gate_report.total_gates > 500
+        assert evaluation.fpga_report.ram_bits == 9216
+        assert evaluation.cntfet_performance.dmips_per_watt > evaluation.fpga_performance.dmips_per_watt
+        assert "CNTFET" in evaluation.summary()
+
+    def test_art9_beats_picorv32_on_bubble_sort_cycles(self):
+        # The Table III headline: the translated ART-9 code needs fewer
+        # cycles than the non-pipelined PicoRV32 baseline.
+        workload = get_workload("bubble_sort")
+        program, _ = SoftwareFramework().compile_workload(workload)
+        art9_cycles = HardwareFramework().simulate(program).cycles
+        pico_cycles = PicoRV32Model().run(workload.rv_program()).cycles
+        assert art9_cycles < pico_cycles
+
+    def test_vexriscv_beats_art9_in_dmips_per_mhz(self):
+        # Table II ordering: VexRiscv > ART-9 in DMIPS/MHz.
+        workload = get_workload("dhrystone")
+        program, _ = SoftwareFramework().compile_workload(workload)
+        art9_cycles = HardwareFramework().simulate(program).cycles
+        vex_cycles = VexRiscvModel().run(workload.rv_program()).cycles
+        assert vex_cycles < art9_cycles
+
+
+class TestCLI:
+    def test_workloads_listing(self, capsys):
+        assert cli_main(["workloads"]) == 0
+        captured = capsys.readouterr().out
+        assert "dhrystone" in captured
+
+    def test_hw_subcommand(self, capsys):
+        assert cli_main(["hw"]) == 0
+        captured = capsys.readouterr().out
+        assert "ternary gates" in captured and "ALMs" in captured
+
+    def test_translate_and_run_subcommands(self, tmp_path, capsys):
+        source = tmp_path / "prog.s"
+        source.write_text("li a0, 5\nadd a0, a0, a0\necall\n")
+        assert cli_main(["translate", str(source), "--listing"]) == 0
+        assert "translation of" in capsys.readouterr().out
+        assert cli_main(["run", str(source)]) == 0
+        assert "cycles" in capsys.readouterr().out
+
+    def test_bench_subcommand_single_workload(self, capsys):
+        assert cli_main(["bench", "bubble_sort"]) == 0
+        captured = capsys.readouterr().out
+        assert "bubble_sort" in captured and "PicoRV32" in captured
+
+    def test_no_command_prints_help(self, capsys):
+        assert cli_main([]) == 1

@@ -1,0 +1,254 @@
+"""Unit tests for the individual passes of the software-level framework."""
+
+import pytest
+
+from repro.isa.instructions import Instruction
+from repro.riscv import assemble_riscv
+from repro.xlate import (
+    InstructionMapper,
+    RegisterAllocator,
+    TranslationError,
+    convert_operands,
+    remove_redundancies,
+)
+from repro.xlate.ir import LabelMarker, TranslationUnit, VirtualRegisterFile, V_RA, V_SP, V_ZERO
+from repro.xlate.layout import emit_program
+from repro.xlate.regalloc import NEAR_SLOTS, PHYS_SCRATCH_A, PHYS_SCRATCH_B
+
+
+def map_source(source):
+    vregs = VirtualRegisterFile()
+    mapper = InstructionMapper(vregs)
+    unit = mapper.map_program(assemble_riscv(source))
+    return unit, vregs
+
+
+class TestInstructionMapping:
+    def test_add_with_distinct_destination_uses_move(self):
+        unit, _ = map_source("add a2, a0, a1\necall")
+        mnemonics = [i.mnemonic for i in unit.instructions()]
+        assert mnemonics[-3:] == ["MV", "ADD", "HALT"]
+
+    def test_add_in_place_needs_no_move(self):
+        unit, _ = map_source("add a0, a0, a1\necall")
+        mnemonics = [i.mnemonic for i in unit.instructions()]
+        assert mnemonics[-2:] == ["ADD", "HALT"]
+
+    def test_slli_becomes_doubling_chain(self):
+        unit, _ = map_source("slli a1, a0, 3\necall")
+        adds = [i for i in unit.instructions() if i.mnemonic == "ADD"]
+        assert len(adds) == 3
+        assert all(i.ta == i.tb for i in adds)
+
+    def test_branch_maps_to_comp_plus_branch(self):
+        unit, _ = map_source("beq a0, a1, target\ntarget:\necall")
+        mnemonics = [i.mnemonic for i in unit.instructions()]
+        assert "COMP" in mnemonics and "BEQ" in mnemonics
+
+    def test_blt_uses_negative_branch_trit(self):
+        unit, _ = map_source("blt a0, a1, target\ntarget:\necall")
+        branch = [i for i in unit.instructions() if i.spec.is_branch][0]
+        assert branch.mnemonic == "BEQ" and branch.branch_trit == -1
+
+    def test_mul_requests_runtime_helper(self):
+        unit, _ = map_source("mul a0, a0, a1\necall")
+        assert "mul" in unit.required_helpers
+        assert any(i.mnemonic == "JAL" and i.label == "__t_mul" for i in unit.instructions())
+
+    def test_writes_to_x0_are_dropped(self):
+        unit, _ = map_source("addi zero, zero, 0\nadd zero, a0, a1\necall")
+        mnemonics = [i.mnemonic for i in unit.instructions()]
+        # Only the stack-pointer prologue and the HALT remain.
+        assert mnemonics.count("ADD") == 0 and mnemonics.count("ADDI") == 0
+
+    def test_branch_targets_become_generated_labels(self):
+        unit, _ = map_source("""
+        loop:
+            addi a0, a0, 1
+            bne a0, a1, loop
+            ecall
+        """)
+        assert ".L0" in unit.labels()
+
+    def test_auipc_rejected(self):
+        with pytest.raises(TranslationError):
+            map_source("auipc a0, 1\necall")
+
+    def test_oversized_constant_rejected(self):
+        with pytest.raises(TranslationError):
+            map_source("li a0, 100000\necall")
+
+    def test_ecall_becomes_halt(self):
+        unit, _ = map_source("ecall")
+        assert [i.mnemonic for i in unit.instructions()][-1] == "HALT"
+
+    def test_data_is_replicated_at_byte_addresses(self):
+        unit, _ = map_source("""
+            la a0, tab
+            lw a1, 4(a0)
+            ecall
+        .data
+        tab: .word 9, 8
+        """)
+        assert unit.data_words[0] == 9 and unit.data_words[4] == 8
+
+
+class TestOperandConversion:
+    def test_in_range_immediates_untouched(self):
+        vregs = VirtualRegisterFile()
+        unit = TranslationUnit(items=[Instruction("ADDI", ta=1, imm=13)])
+        converted = convert_operands(unit, vregs)
+        assert [i.mnemonic for i in converted.instructions()] == ["ADDI"]
+
+    def test_large_addi_materialised(self):
+        vregs = VirtualRegisterFile()
+        unit = TranslationUnit(items=[Instruction("ADDI", ta=1, imm=500)])
+        converted = convert_operands(unit, vregs)
+        assert [i.mnemonic for i in converted.instructions()] == ["LUI", "LI", "ADD"]
+
+    def test_large_load_offset_materialised(self):
+        vregs = VirtualRegisterFile()
+        unit = TranslationUnit(items=[Instruction("LOAD", ta=1, tb=2, imm=100)])
+        converted = convert_operands(unit, vregs)
+        mnemonics = [i.mnemonic for i in converted.instructions()]
+        assert mnemonics == ["LUI", "LI", "ADD", "LOAD"]
+        assert list(converted.instructions())[-1].imm == 0
+
+    def test_labels_pass_through(self):
+        vregs = VirtualRegisterFile()
+        unit = TranslationUnit(items=[Instruction("JAL", ta=1, label="far")])
+        converted = convert_operands(unit, vregs)
+        assert list(converted.instructions())[0].label == "far"
+
+
+class TestRegisterAllocation:
+    def test_small_programs_avoid_spilling(self):
+        unit, vregs = map_source("""
+            li a0, 1
+            li a1, 2
+            add a0, a0, a1
+            ecall
+        """)
+        allocator = RegisterAllocator(vregs)
+        allocation = allocator.build_allocation(unit)
+        assert not allocation.spilled
+        assert not allocation.uses_scratch
+
+    def test_pinned_registers(self):
+        unit, vregs = map_source("""
+            addi sp, sp, -4
+            sw   ra, 0(sp)
+            mv   a0, zero
+            lw   ra, 0(sp)
+            addi sp, sp, 4
+            ret
+        """)
+        allocator = RegisterAllocator(vregs)
+        allocation = allocator.build_allocation(unit, force_scratch=True)
+        assert allocation.direct[V_SP] == 7
+        assert allocation.direct[V_RA] == 8
+        assert allocation.direct[V_ZERO] == 0
+
+    def test_spill_slots_live_at_top_of_memory(self):
+        unit, vregs = map_source(
+            "\n".join(f"li s{i}, {i}" for i in range(12)) + "\necall")
+        allocator = RegisterAllocator(vregs)
+        allocation = allocator.build_allocation(unit, force_scratch=True)
+        assert allocation.spilled
+        for virtual, slot in allocation.spilled.items():
+            assert allocation.slot_address(slot) == 3 ** 9 - (slot + 1)
+
+    def test_rewrite_inserts_spill_code(self):
+        unit, vregs = map_source(
+            "\n".join(f"addi s{i}, s{i}, 1" for i in range(12)) + "\necall")
+        allocator = RegisterAllocator(vregs)
+        rewritten, allocation = allocator.rewrite(unit, force_scratch=True)
+        assert allocation.spilled
+        mnemonics = [i.mnemonic for i in rewritten.instructions()]
+        assert "LOAD" in mnemonics and "STORE" in mnemonics
+        loads = [i for i in rewritten.instructions()
+                 if i.mnemonic == "LOAD" and i.tb == 0 and (i.imm or 0) < 0]
+        assert loads and all(i.ta in (PHYS_SCRATCH_A, PHYS_SCRATCH_B) for i in loads)
+
+    def test_allocation_report_is_printable(self):
+        unit, vregs = map_source("add a0, a0, a1\necall")
+        allocation = RegisterAllocator(vregs).build_allocation(unit)
+        assert "virtual" in allocation.describe()
+
+    def test_near_slot_count_constant(self):
+        assert NEAR_SLOTS == 13
+
+
+class TestRedundancyChecking:
+    def test_identity_moves_removed(self):
+        unit = TranslationUnit(items=[
+            Instruction("MV", ta=1, tb=1),
+            Instruction("ADDI", ta=2, imm=0),
+            Instruction("HALT"),
+        ])
+        reduced = remove_redundancies(unit)
+        assert [i.mnemonic for i in reduced.instructions()] == ["HALT"]
+
+    def test_store_load_pair_becomes_move(self):
+        unit = TranslationUnit(items=[
+            Instruction("STORE", ta=1, tb=0, imm=-1),
+            Instruction("LOAD", ta=2, tb=0, imm=-1),
+            Instruction("HALT"),
+        ])
+        reduced = remove_redundancies(unit)
+        mnemonics = [i.mnemonic for i in reduced.instructions()]
+        assert mnemonics == ["STORE", "MV", "HALT"]
+
+    def test_duplicate_load_removed(self):
+        unit = TranslationUnit(items=[
+            Instruction("LOAD", ta=1, tb=0, imm=2),
+            Instruction("LOAD", ta=1, tb=0, imm=2),
+            Instruction("HALT"),
+        ])
+        reduced = remove_redundancies(unit)
+        assert [i.mnemonic for i in reduced.instructions()] == ["LOAD", "HALT"]
+
+    def test_dead_write_removed(self):
+        unit = TranslationUnit(items=[
+            Instruction("MV", ta=1, tb=2),
+            Instruction("MV", ta=1, tb=3),
+            Instruction("HALT"),
+        ])
+        reduced = remove_redundancies(unit)
+        assert len(list(reduced.instructions())) == 2
+
+    def test_live_write_preserved_across_label(self):
+        unit = TranslationUnit(items=[
+            Instruction("MV", ta=1, tb=2),
+            LabelMarker("entry"),
+            Instruction("MV", ta=1, tb=3),
+            Instruction("HALT"),
+        ])
+        reduced = remove_redundancies(unit)
+        assert len(list(reduced.instructions())) == 3
+
+
+class TestLayout:
+    def test_branch_relaxation_for_far_targets(self):
+        items = [Instruction("BEQ", tb=1, branch_trit=0, label="far")]
+        items += [Instruction("ADDI", ta=1, imm=1) for _ in range(60)]
+        items += [LabelMarker("far"), Instruction("HALT")]
+        program = emit_program(TranslationUnit(items=items))
+        # The out-of-range branch was rewritten into an inverted branch over
+        # an absolute-jump sequence, and every immediate now fits.
+        assert program.encode()
+        assert any(i.mnemonic == "JALR" for i in program.instructions)
+
+    def test_in_range_branches_untouched(self):
+        items = [
+            Instruction("BEQ", tb=1, branch_trit=0, label="next"),
+            Instruction("ADDI", ta=1, imm=1),
+            LabelMarker("next"),
+            Instruction("HALT"),
+        ]
+        program = emit_program(TranslationUnit(items=items))
+        assert program[0].mnemonic == "BEQ" and program[0].imm == 2
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(TranslationError):
+            emit_program(TranslationUnit(items=[Instruction("JAL", ta=8, label="missing")]))
