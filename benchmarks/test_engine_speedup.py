@@ -1,0 +1,31 @@
+"""Fast engine vs stage-by-stage pipeline: the speedup that enables sweeps.
+
+Both tests simulate the same Dhrystone program and must report identical
+cycle counts; pytest-benchmark records how many seconds each engine needs
+per run.  The fast engine's time is the number that matters for the ROADMAP
+goal of large workload sweeps (compare the two medians in the BENCH json,
+or the ``hardware_framework.simulate`` timing in test_table2 against older
+runs recorded before the fast path existed).
+"""
+
+import pytest
+
+from repro.sim import FastEngine, PipelineSimulator
+
+
+@pytest.fixture(scope="module")
+def dhrystone_program(translated):
+    program, _ = translated["dhrystone"]
+    return program
+
+
+def test_fast_engine_dhrystone(dhrystone_program, benchmark):
+    stats = benchmark(lambda: FastEngine(dhrystone_program).run_with_stats())
+    reference = PipelineSimulator(dhrystone_program).run()
+    assert stats.cycles == reference.cycles
+    assert stats.stall_cycles == reference.stall_cycles
+
+
+def test_pipeline_engine_dhrystone(dhrystone_program, benchmark):
+    stats = benchmark(lambda: PipelineSimulator(dhrystone_program).run())
+    assert stats.cycles > 0

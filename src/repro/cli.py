@@ -3,10 +3,15 @@
 Subcommands::
 
     art9 translate <file.s>        translate an RV-32I assembly file to ART-9
-    art9 run <file.s>              translate and run on the pipeline simulator
+    art9 run <file.s>              translate and run a cycle-accurate simulation
     art9 bench [workload ...]      run the bundled benchmarks (cycle counts)
+    art9 fuzz                      differential-fuzz the three ART-9 executors
     art9 hw                        print the gate-level / FPGA analysis
     art9 workloads                 list the bundled benchmark workloads
+
+``run`` and ``bench`` accept ``--engine {fast,pipeline}`` to choose between
+the pre-decoded integer engine (default) and the stage-by-stage pipeline
+model; both produce identical cycle statistics.
 
 The CLI is a thin wrapper over :mod:`repro.framework`; anything it prints can
 also be obtained programmatically.
@@ -20,6 +25,8 @@ from typing import List, Optional
 
 from repro.baselines import PicoRV32Model, VexRiscvModel
 from repro.framework import HardwareFramework, SoftwareFramework
+from repro.framework.hwflow import SIMULATION_ENGINES
+from repro.testing import GeneratorConfig, fuzz as run_fuzz
 from repro.workloads import all_workloads, get_workload
 
 
@@ -40,7 +47,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         source = handle.read()
     software = SoftwareFramework()
     program, report = software.compile_riscv_assembly(source, name=args.source)
-    hardware = HardwareFramework()
+    hardware = HardwareFramework(engine=args.engine)
     stats = hardware.simulate(program)
     print(report.summary())
     print()
@@ -57,7 +64,7 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     names = args.workloads or sorted(all_workloads())
     software = SoftwareFramework()
-    hardware = HardwareFramework()
+    hardware = HardwareFramework(engine=args.engine)
     header = f"{'workload':14s} {'ART-9 cycles':>14s} {'PicoRV32 cycles':>16s} {'VexRiscv cycles':>16s}"
     print(header)
     print("-" * len(header))
@@ -70,6 +77,28 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         vex = VexRiscvModel().run(rv_program)
         print(f"{name:14s} {stats.cycles:>14d} {pico.cycles:>16d} {vex.cycles:>16d}")
     return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    config = GeneratorConfig()
+    report = run_fuzz(
+        count=args.count,
+        seed=args.seed,
+        config=config,
+        max_instructions=args.max_instructions,
+        check_pipeline=not args.no_pipeline,
+    )
+    print(report.summary())
+    for failure in report.failures:
+        print(f"\n{failure.program_name}:")
+        for mismatch in failure.mismatches:
+            print(f"  - {mismatch}")
+    if report.failures:
+        print(
+            "\nreproduce with: repro.testing.run_differential("
+            "generate_program(<seed from the program name>))"
+        )
+    return 0 if report.ok else 1
 
 
 def _cmd_hw(args: argparse.Namespace) -> int:
@@ -93,13 +122,29 @@ def build_parser() -> argparse.ArgumentParser:
                            help="skip the redundancy-checking pass")
     translate.set_defaults(func=_cmd_translate)
 
-    run = subparsers.add_parser("run", help="translate and run on the pipeline simulator")
+    run = subparsers.add_parser("run", help="translate and run a cycle-accurate simulation")
     run.add_argument("source", help="RV-32I assembly file")
+    run.add_argument("--engine", choices=SIMULATION_ENGINES, default="fast",
+                     help="execution engine (default: fast)")
     run.set_defaults(func=_cmd_run)
 
     bench = subparsers.add_parser("bench", help="run the bundled benchmarks")
     bench.add_argument("workloads", nargs="*", help="workload names (default: all)")
+    bench.add_argument("--engine", choices=SIMULATION_ENGINES, default="fast",
+                       help="execution engine (default: fast)")
     bench.set_defaults(func=_cmd_bench)
+
+    fuzz_cmd = subparsers.add_parser(
+        "fuzz", help="differential-fuzz the fast engine against both simulators")
+    fuzz_cmd.add_argument("--count", type=int, default=100,
+                          help="number of random programs (default: 100)")
+    fuzz_cmd.add_argument("--seed", type=int, default=0,
+                          help="first generator seed (default: 0)")
+    fuzz_cmd.add_argument("--max-instructions", type=int, default=200_000,
+                          help="per-program instruction budget")
+    fuzz_cmd.add_argument("--no-pipeline", action="store_true",
+                          help="skip the (slower) cycle-accurate pipeline cross-check")
+    fuzz_cmd.set_defaults(func=_cmd_fuzz)
 
     hw = subparsers.add_parser("hw", help="gate-level / FPGA implementation analysis")
     hw.set_defaults(func=_cmd_hw)

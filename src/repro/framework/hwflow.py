@@ -11,7 +11,11 @@ from repro.hweval.estimator import DhrystoneMetrics, PerformanceEstimator, Perfo
 from repro.hweval.fpga import FPGAEmulationModel, FPGAResourceReport, stratix_v_model
 from repro.hweval.technology import TechnologyLibrary
 from repro.isa.program import Program
+from repro.sim.engine import FastEngine
 from repro.sim.pipeline import PipelineSimulator, PipelineStats
+
+#: Known cycle-accurate execution engines of :meth:`HardwareFramework.simulate`.
+SIMULATION_ENGINES = ("fast", "pipeline")
 
 
 @dataclass
@@ -51,18 +55,42 @@ class HardwareFramework:
     It runs the cycle-accurate simulator on the given program, analyses the
     ART-9 datapath netlist against the requested technology libraries and
     combines everything through the performance estimator.
+
+    Two interchangeable execution engines back :meth:`simulate`:
+
+    * ``"fast"`` (the default) — the pre-decoded integer engine of
+      :mod:`repro.sim.engine` with its analytic pipeline timing model.  It
+      produces bit-identical :class:`PipelineStats` to the stage-by-stage
+      simulator (asserted continuously by the differential test suite) at a
+      fraction of the cost, which is what makes large workload sweeps viable.
+    * ``"pipeline"`` — the original stage-by-stage 5-stage model, kept as
+      the structural reference (it models latches, forwarding muxes and the
+      HDU explicitly, which the gate-level analyzer attributes against).
     """
 
     def __init__(self, technology: Optional[TechnologyLibrary] = None,
-                 fpga_model: Optional[FPGAEmulationModel] = None):
+                 fpga_model: Optional[FPGAEmulationModel] = None,
+                 engine: str = "fast"):
+        if engine not in SIMULATION_ENGINES:
+            raise ValueError(
+                f"unknown simulation engine {engine!r}; known: {SIMULATION_ENGINES}"
+            )
         self.technology = technology or cntfet_32nm_library()
         self.fpga_model = fpga_model or stratix_v_model()
         self.analyzer = GateLevelAnalyzer()
+        self.engine = engine
 
-    def simulate(self, program: Program, max_cycles: int = 50_000_000) -> PipelineStats:
-        """Run the cycle-accurate 5-stage pipeline simulator."""
-        simulator = PipelineSimulator(program)
-        return simulator.run(max_cycles=max_cycles)
+    def simulate(self, program: Program, max_cycles: int = 50_000_000,
+                 engine: Optional[str] = None) -> PipelineStats:
+        """Run the cycle-accurate simulation with the selected engine."""
+        engine = engine or self.engine
+        if engine == "fast":
+            return FastEngine(program).run_with_stats(max_cycles=max_cycles)
+        if engine == "pipeline":
+            return PipelineSimulator(program).run(max_cycles=max_cycles)
+        raise ValueError(
+            f"unknown simulation engine {engine!r}; known: {SIMULATION_ENGINES}"
+        )
 
     def analyze_gates(self) -> GateLevelReport:
         """Run the gate-level analyzer for the configured technology."""

@@ -12,6 +12,15 @@ Two simulators are provided:
     resolution in ID.  This is the "cycle-accurate simulator" component of
     the paper's hardware-level evaluation framework.
 
+A third executor, ``FastEngine`` (in :mod:`repro.sim.engine`), trades the
+object-model fidelity of the two reference simulators for speed: it
+pre-decodes the program into flat integer dispatch records and executes on
+plain Python ints, reproducing both the functional simulator's
+``ExecutionResult`` and the pipeline simulator's ``PipelineStats``
+bit-identically.  Use it (directly, through :func:`execute_program`, or via
+``HardwareFramework.simulate(engine="fast")``) whenever throughput matters
+more than per-trit observability.
+
 Shared component models (ternary register file, TIM/TDM memories, the TALU)
 live in their own modules so that both simulators — and the gate-level
 analyzer, which counts their hardware resources — agree on the semantics.
@@ -22,6 +31,7 @@ from repro.sim.regfile import TernaryRegisterFile
 from repro.sim.alu import ALUResult, TernaryALU
 from repro.sim.functional import ExecutionResult, FunctionalSimulator, SimulationError
 from repro.sim.pipeline import PipelineSimulator, PipelineStats
+from repro.sim.engine import FastEngine, execute_program
 
 __all__ = [
     "TernaryMemory",
@@ -34,4 +44,6 @@ __all__ = [
     "SimulationError",
     "PipelineSimulator",
     "PipelineStats",
+    "FastEngine",
+    "execute_program",
 ]

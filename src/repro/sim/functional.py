@@ -36,10 +36,15 @@ class ExecutionResult:
     registers: Dict[str, int]
     pc: int
     instruction_mix: Dict[str, int] = field(default_factory=dict)
+    memory: Dict[int, int] = field(default_factory=dict)
 
     def register(self, name: str) -> int:
         """Convenience accessor for a named register value."""
         return self.registers[name.upper()]
+
+    def memory_word(self, address: int) -> int:
+        """Value of the TDM word at ``address`` (untouched cells read zero)."""
+        return self.memory.get(address, 0)
 
 
 class FunctionalSimulator:
@@ -129,6 +134,7 @@ class FunctionalSimulator:
             registers=self.registers.snapshot(),
             pc=self.pc,
             instruction_mix=dict(self.instruction_mix),
+            memory=self.tdm.contents(),
         )
 
     # -- inspection helpers -------------------------------------------------------

@@ -105,6 +105,10 @@ class TernaryMemory:
         """Return ``count`` integer values starting at ``base``."""
         return [self.read_int(base + offset) for offset in range(count)]
 
+    def contents(self) -> Dict[int, int]:
+        """Touched cells as an address → balanced-integer-value mapping."""
+        return {address: word.value for address, word in self._cells.items()}
+
     def occupied_words(self) -> int:
         """Number of addresses that have been written at least once."""
         return len(self._cells)

@@ -1,0 +1,238 @@
+"""Differential runner: one program, three executors, zero tolerance.
+
+``run_differential`` executes a program on the fast engine and the functional
+simulator (always) and on the cycle-accurate pipeline simulator (optionally)
+and compares every piece of architectural state the executors share:
+
+* register file contents (all nine registers, by name);
+* every touched TDM cell (including explicitly written zeros);
+* final PC and halt flag (functional semantics; the pipeline's fetch-ahead
+  PC is architecturally meaningless and therefore not compared);
+* dynamic instruction count and per-mnemonic instruction mix;
+* the full :class:`PipelineStats` record — cycles, stalls, flush bubbles,
+  branch outcomes and all three forwarding counters — against the fast
+  engine's analytic timing model.
+
+``fuzz`` drives the generator/runner pair over a seed range, collecting
+failures instead of raising so a fuzzing session reports every divergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.isa.program import Program
+from repro.sim.engine import FastEngine
+from repro.sim.functional import ExecutionResult, FunctionalSimulator, SimulationError
+from repro.sim.pipeline import PipelineSimulator
+from repro.testing.generator import GeneratorConfig, generate_program
+
+#: PipelineStats fields compared between the pipeline simulator and the fast
+#: engine's analytic timing model.
+STATS_FIELDS = (
+    "cycles",
+    "instructions_committed",
+    "load_use_stalls",
+    "control_flush_bubbles",
+    "taken_branches",
+    "not_taken_branches",
+    "jumps",
+    "ex_forwards",
+    "mem_forwards",
+    "id_forwards",
+)
+
+
+class DifferentialMismatch(AssertionError):
+    """Raised by :func:`run_differential` when two executors disagree."""
+
+
+@dataclass
+class DifferentialOutcome:
+    """Comparison record of one program across the executors."""
+
+    program_name: str
+    instructions_executed: int
+    cycles: Optional[int] = None
+    mismatches: List[str] = field(default_factory=list)
+    #: Set when every executor agreed the program exceeded the instruction
+    #: budget (architectural state is then not comparable).
+    budget_exhausted: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate outcome of one fuzzing session."""
+
+    programs_run: int = 0
+    instructions_executed: int = 0
+    budget_exhausted: int = 0
+    failures: List[DifferentialOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.failures)} FAILURES"
+        note = (
+            f", {self.budget_exhausted} hit the instruction budget"
+            if self.budget_exhausted else ""
+        )
+        return (
+            f"differential fuzz: {self.programs_run} programs, "
+            f"{self.instructions_executed} instructions executed{note}, {status}"
+        )
+
+
+def _compare_executions(fast: ExecutionResult, reference: ExecutionResult,
+                        mismatches: List[str]) -> None:
+    if fast.registers != reference.registers:
+        diffs = {
+            name: (fast.registers[name], reference.registers[name])
+            for name in fast.registers
+            if fast.registers[name] != reference.registers.get(name)
+        }
+        mismatches.append(f"registers differ (fast, functional): {diffs}")
+    if fast.memory != reference.memory:
+        keys = set(fast.memory) | set(reference.memory)
+        diffs = {
+            addr: (fast.memory.get(addr), reference.memory.get(addr))
+            for addr in sorted(keys)
+            if fast.memory.get(addr) != reference.memory.get(addr)
+        }
+        mismatches.append(f"memory differs (fast, functional): {diffs}")
+    if fast.pc != reference.pc:
+        mismatches.append(f"final PC differs: fast={fast.pc} functional={reference.pc}")
+    if fast.halted != reference.halted:
+        mismatches.append(
+            f"halt flag differs: fast={fast.halted} functional={reference.halted}"
+        )
+    if fast.instructions_executed != reference.instructions_executed:
+        mismatches.append(
+            "instruction count differs: "
+            f"fast={fast.instructions_executed} functional={reference.instructions_executed}"
+        )
+    if fast.instruction_mix != reference.instruction_mix:
+        mismatches.append(
+            f"instruction mix differs: fast={fast.instruction_mix} "
+            f"functional={reference.instruction_mix}"
+        )
+
+
+def run_differential(
+    program: Program,
+    max_instructions: int = 200_000,
+    check_pipeline: bool = True,
+    raise_on_mismatch: bool = True,
+) -> DifferentialOutcome:
+    """Execute ``program`` on every executor and compare the results.
+
+    A :class:`SimulationError` (instruction budget exceeded, PC escape) is
+    itself differential evidence: both the fast engine and the functional
+    simulator must fail in the same way, otherwise one of them terminated a
+    program the other did not.  When both fail identically the outcome is
+    flagged ``budget_exhausted`` and the pipeline cross-check is skipped.
+    """
+    fast_error: Optional[str] = None
+    reference_error: Optional[str] = None
+    try:
+        fast = FastEngine(program).run(max_instructions=max_instructions)
+    except SimulationError as exc:
+        fast_error = str(exc)
+    functional = FunctionalSimulator(program)
+    try:
+        reference = functional.run(max_instructions=max_instructions)
+    except SimulationError as exc:
+        reference_error = str(exc)
+
+    if fast_error is not None or reference_error is not None:
+        outcome = DifferentialOutcome(
+            program_name=program.name,
+            instructions_executed=0,
+            budget_exhausted=True,
+        )
+        if fast_error != reference_error:
+            outcome.mismatches.append(
+                "executors disagree on termination: "
+                f"fast={fast_error!r} functional={reference_error!r}"
+            )
+        if raise_on_mismatch and not outcome.ok:
+            raise DifferentialMismatch(
+                f"{program.name}: " + "; ".join(outcome.mismatches)
+            )
+        return outcome
+
+    outcome = DifferentialOutcome(
+        program_name=program.name,
+        instructions_executed=reference.instructions_executed,
+    )
+    _compare_executions(fast, reference, outcome.mismatches)
+
+    if check_pipeline:
+        pipeline = PipelineSimulator(program)
+        # Cycles <= 2 * instructions + 4 for this pipeline; double it for slack.
+        pipeline_stats = pipeline.run(max_cycles=4 * max_instructions + 16)
+        timing_engine = FastEngine(program)
+        fast_stats = timing_engine.run_with_stats(max_cycles=4 * max_instructions + 16)
+        outcome.cycles = pipeline_stats.cycles
+
+        if pipeline.register_snapshot() != fast.registers:
+            outcome.mismatches.append(
+                f"pipeline registers differ from fast engine: "
+                f"{pipeline.register_snapshot()} vs {fast.registers}"
+            )
+        if pipeline.tdm.contents() != fast.memory:
+            outcome.mismatches.append("pipeline memory differs from fast engine")
+        for field_name in STATS_FIELDS:
+            fast_value = getattr(fast_stats, field_name)
+            pipe_value = getattr(pipeline_stats, field_name)
+            if fast_value != pipe_value:
+                outcome.mismatches.append(
+                    f"stats.{field_name} differs: fast={fast_value} pipeline={pipe_value}"
+                )
+        if fast_stats.instruction_mix != pipeline_stats.instruction_mix:
+            outcome.mismatches.append(
+                "committed instruction mix differs between timing model and pipeline"
+            )
+
+    if raise_on_mismatch and not outcome.ok:
+        raise DifferentialMismatch(
+            f"{program.name}: " + "; ".join(outcome.mismatches)
+        )
+    return outcome
+
+
+def fuzz(
+    count: int = 100,
+    seed: int = 0,
+    config: Optional[GeneratorConfig] = None,
+    max_instructions: int = 200_000,
+    check_pipeline: bool = True,
+) -> FuzzReport:
+    """Run ``count`` generated programs differentially, collecting failures.
+
+    Seeds ``seed .. seed+count-1`` are used one per program, so any failure
+    is reproducible with ``run_differential(generate_program(bad_seed))``.
+    """
+    report = FuzzReport()
+    for offset in range(count):
+        program = generate_program(seed + offset, config)
+        outcome = run_differential(
+            program,
+            max_instructions=max_instructions,
+            check_pipeline=check_pipeline,
+            raise_on_mismatch=False,
+        )
+        report.programs_run += 1
+        report.instructions_executed += outcome.instructions_executed
+        if outcome.budget_exhausted:
+            report.budget_exhausted += 1
+        if not outcome.ok:
+            report.failures.append(outcome)
+    return report

@@ -1,0 +1,113 @@
+"""End-to-end coverage of the ``art9`` command-line interface.
+
+Every subcommand is driven through ``main(argv)`` with temporary-file
+sources, asserting both the exit code and the key lines of the output.
+"""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+_RV_SOURCE = """\
+li a0, 5
+li a1, 7
+add a0, a0, a1
+ecall
+"""
+
+
+@pytest.fixture
+def rv_file(tmp_path):
+    source = tmp_path / "prog.s"
+    source.write_text(_RV_SOURCE)
+    return str(source)
+
+
+class TestTranslate:
+    def test_translate_prints_report(self, rv_file, capsys):
+        assert main(["translate", rv_file]) == 0
+        out = capsys.readouterr().out
+        assert "translation of" in out
+
+    def test_translate_listing_shows_instructions(self, rv_file, capsys):
+        assert main(["translate", rv_file, "--listing"]) == 0
+        out = capsys.readouterr().out
+        assert "HALT" in out
+
+    def test_translate_no_optimize(self, rv_file, capsys):
+        assert main(["translate", rv_file, "--no-optimize"]) == 0
+        assert "translation of" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_run_default_engine_prints_cycle_summary(self, rv_file, capsys):
+        assert main(["run", rv_file]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out
+        assert "instructions committed" in out
+
+    def test_run_engines_agree_on_cycles(self, rv_file, capsys):
+        assert main(["run", rv_file, "--engine", "fast"]) == 0
+        fast_out = capsys.readouterr().out
+        assert main(["run", rv_file, "--engine", "pipeline"]) == 0
+        pipeline_out = capsys.readouterr().out
+
+        def cycles_line(text):
+            return next(line for line in text.splitlines() if line.startswith("cycles"))
+
+        assert cycles_line(fast_out) == cycles_line(pipeline_out)
+
+    def test_unknown_engine_rejected_by_argparse(self, rv_file):
+        with pytest.raises(SystemExit):
+            main(["run", rv_file, "--engine", "quantum"])
+
+
+class TestBench:
+    def test_bench_single_workload(self, capsys):
+        assert main(["bench", "bubble_sort"]) == 0
+        out = capsys.readouterr().out
+        assert "bubble_sort" in out
+        assert "PicoRV32" in out and "VexRiscv" in out
+
+    def test_bench_pipeline_engine_matches_fast(self, capsys):
+        assert main(["bench", "bubble_sort", "--engine", "fast"]) == 0
+        fast_out = capsys.readouterr().out
+        assert main(["bench", "bubble_sort", "--engine", "pipeline"]) == 0
+        pipeline_out = capsys.readouterr().out
+        assert fast_out == pipeline_out
+
+
+class TestFuzz:
+    def test_fuzz_reports_clean_run(self, capsys):
+        assert main(["fuzz", "--count", "10", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "10 programs" in out
+        assert "OK" in out
+
+    def test_fuzz_without_pipeline_crosscheck(self, capsys):
+        assert main(["fuzz", "--count", "5", "--seed", "11", "--no-pipeline"]) == 0
+        assert "5 programs" in capsys.readouterr().out
+
+
+class TestMetaCommands:
+    def test_workloads_lists_all_four(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("bubble_sort", "gemm", "sobel", "dhrystone"):
+            assert name in out
+
+    def test_hw_prints_gate_and_fpga_reports(self, capsys):
+        assert main(["hw"]) == 0
+        out = capsys.readouterr().out
+        assert "ternary gates" in out
+        assert "ALMs" in out
+
+    def test_no_command_prints_help_and_fails(self, capsys):
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_parser_exposes_all_subcommands(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("translate", "run", "bench", "fuzz", "hw", "workloads"):
+            assert command in text
