@@ -5,13 +5,16 @@ Subcommands::
     art9 translate <file.s>        translate an RV-32I assembly file to ART-9
     art9 run <file.s>              translate and run a cycle-accurate simulation
     art9 bench [workload ...]      run the bundled benchmarks (cycle counts)
+    art9 sweep                     run/resume/compare/list evaluation sweeps
     art9 fuzz                      differential-fuzz the three ART-9 executors
     art9 hw                        print the gate-level / FPGA analysis
     art9 workloads                 list the bundled benchmark workloads
 
 ``run`` and ``bench`` accept ``--engine {fast,pipeline}`` to choose between
 the pre-decoded integer engine (default) and the stage-by-stage pipeline
-model; both produce identical cycle statistics.
+model; both produce identical cycle statistics.  ``sweep`` and ``fuzz
+--jobs N`` shard their work across a pool of persistent worker processes
+(see :mod:`repro.runner`).
 
 The CLI is a thin wrapper over :mod:`repro.framework`; anything it prints can
 also be obtained programmatically.
@@ -20,13 +23,24 @@ also be obtained programmatically.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from repro.baselines import PicoRV32Model, VexRiscvModel
 from repro.framework import HardwareFramework, SoftwareFramework
 from repro.framework.hwflow import SIMULATION_ENGINES
-from repro.testing import GeneratorConfig, fuzz as run_fuzz
+from repro.runner import (
+    DEFAULT_MAX_CYCLES,
+    RunStore,
+    SpecError,
+    StoreError,
+    SweepSpec,
+    compare_runs,
+    list_jobs,
+    run_parallel_fuzz,
+    run_sweep,
+)
 from repro.workloads import all_workloads, get_workload
 
 
@@ -79,12 +93,65 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
+    if args.spec:
+        return SweepSpec.from_file(args.spec)
+    optimize = {"both": (True, False), "on": (True,), "off": (False,)}[args.optimize]
+    params = json.loads(args.params) if args.params else {}
+    return SweepSpec(
+        workloads=tuple(args.workloads or ()),
+        engines=tuple(args.engines or SIMULATION_ENGINES),
+        optimize=optimize,
+        params=params,
+        max_cycles=args.max_cycles,
+    )
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        return _run_sweep_command(args)
+    except (SpecError, StoreError, json.JSONDecodeError) as exc:
+        print(f"art9 sweep: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run_sweep_command(args: argparse.Namespace) -> int:
+    if args.compare:
+        report = compare_runs(args.compare[0], args.compare[1])
+        print(report.summary())
+        return 0 if report.ok else 1
+
+    spec = _sweep_spec_from_args(args)
+    if args.list_jobs:
+        out_dir = args.out if args.out else None
+        for row in list_jobs(spec, out_dir):
+            print(f"{row['job_id']}  {row['status']:8s} {row['label']}")
+        return 0
+
+    def progress(record: dict) -> None:
+        if record.get("status") == "ok":
+            print(
+                f"[{record['job_id']}] {record['label']:40s} "
+                f"{record['cycles']:>12d} cycles  CPI {record['cpi']:.3f}  "
+                f"{'ok' if record.get('verified') else 'RESULT MISMATCH'}"
+            )
+        else:
+            print(f"[{record['job_id']}] {record['label']:40s} {record.get('error')}")
+
+    outcome = run_sweep(spec, args.out, jobs=args.jobs,
+                        resume=not args.no_resume, progress=progress)
+    print()
+    print(RunStore(args.out).summary_table(outcome.records))
+    print()
+    print(outcome.summary())
+    return 0 if outcome.ok else 1
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
-    config = GeneratorConfig()
-    report = run_fuzz(
+    report = run_parallel_fuzz(
         count=args.count,
         seed=args.seed,
-        config=config,
+        jobs=args.jobs,
         max_instructions=args.max_instructions,
         check_pipeline=not args.no_pipeline,
     )
@@ -134,6 +201,34 @@ def build_parser() -> argparse.ArgumentParser:
                        help="execution engine (default: fast)")
     bench.set_defaults(func=_cmd_bench)
 
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="run workload x engine x optimize sweeps across worker processes")
+    sweep.add_argument("--out", default="sweeps/latest",
+                       help="run directory (default: sweeps/latest); rerunning "
+                            "the same directory resumes it")
+    sweep.add_argument("--jobs", type=int, default=2,
+                       help="worker processes (default: 2; 1 runs inline)")
+    sweep.add_argument("--workloads", nargs="*", default=None,
+                       help="workload names (default: all registered)")
+    sweep.add_argument("--engines", nargs="*", choices=SIMULATION_ENGINES,
+                       default=None, help="engines (default: fast pipeline)")
+    sweep.add_argument("--optimize", choices=("both", "on", "off"), default="both",
+                       help="translator optimize axis (default: both)")
+    sweep.add_argument("--params", default=None,
+                       help='JSON workload variants, e.g. \'{"gemm": [{}, {"n": 8}]}\'')
+    sweep.add_argument("--spec", default=None,
+                       help="JSON sweep spec file (overrides the grid flags)")
+    sweep.add_argument("--max-cycles", type=int, default=DEFAULT_MAX_CYCLES,
+                       help="per-job cycle budget")
+    sweep.add_argument("--no-resume", action="store_true",
+                       help="discard existing results in --out and recompute")
+    sweep.add_argument("--list", action="store_true", dest="list_jobs",
+                       help="list the expanded jobs and their status, then exit")
+    sweep.add_argument("--compare", nargs=2, metavar=("RUN_A", "RUN_B"),
+                       help="diff two run directories instead of sweeping")
+    sweep.set_defaults(func=_cmd_sweep)
+
     fuzz_cmd = subparsers.add_parser(
         "fuzz", help="differential-fuzz the fast engine against both simulators")
     fuzz_cmd.add_argument("--count", type=int, default=100,
@@ -144,6 +239,8 @@ def build_parser() -> argparse.ArgumentParser:
                           help="per-program instruction budget")
     fuzz_cmd.add_argument("--no-pipeline", action="store_true",
                           help="skip the (slower) cycle-accurate pipeline cross-check")
+    fuzz_cmd.add_argument("--jobs", type=int, default=1,
+                          help="worker processes sharing the seed range (default: 1)")
     fuzz_cmd.set_defaults(func=_cmd_fuzz)
 
     hw = subparsers.add_parser("hw", help="gate-level / FPGA implementation analysis")

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 from repro.hweval.analyzer import GateLevelAnalyzer, GateLevelReport
 from repro.hweval.cntfet import cntfet_32nm_library
@@ -83,11 +83,29 @@ class HardwareFramework:
     def simulate(self, program: Program, max_cycles: int = 50_000_000,
                  engine: Optional[str] = None) -> PipelineStats:
         """Run the cycle-accurate simulation with the selected engine."""
+        stats, _, _ = self.simulate_with_state(program, max_cycles=max_cycles,
+                                               engine=engine)
+        return stats
+
+    def simulate_with_state(self, program: Program, max_cycles: int = 50_000_000,
+                            engine: Optional[str] = None
+                            ) -> Tuple[PipelineStats, Dict[str, int], Dict[int, int]]:
+        """Simulate and return ``(stats, registers, touched memory)``.
+
+        This is the sweep-runner entry point: both engines expose the same
+        architectural snapshot after a run, so job records can carry a
+        digest of the final machine state and regression comparisons can
+        catch architectural drift, not just cycle drift.
+        """
         engine = engine or self.engine
         if engine == "fast":
-            return FastEngine(program).run_with_stats(max_cycles=max_cycles)
+            fast = FastEngine(program)
+            stats = fast.run_with_stats(max_cycles=max_cycles)
+            return stats, fast.register_snapshot(), fast.tdm.contents()
         if engine == "pipeline":
-            return PipelineSimulator(program).run(max_cycles=max_cycles)
+            simulator = PipelineSimulator(program)
+            stats = simulator.run(max_cycles=max_cycles)
+            return stats, simulator.register_snapshot(), simulator.tdm.contents()
         raise ValueError(
             f"unknown simulation engine {engine!r}; known: {SIMULATION_ENGINES}"
         )

@@ -2,14 +2,34 @@
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.isa.assembler import assemble
 from repro.isa.program import Program
 from repro.riscv.assembler import assemble_riscv
 from repro.riscv.program import RVProgram
-from repro.workloads.base import Workload
+from repro.workloads.base import Workload, get_workload
 from repro.xlate.translator import TernaryTranslator, TranslationReport
+
+#: Pure-data key identifying one compiled workload instance.
+WorkloadKey = Tuple[str, Tuple[Tuple[str, object], ...]]
+
+
+def frozen_params(params: Optional[Mapping[str, object]] = None
+                  ) -> Tuple[Tuple[str, object], ...]:
+    """Canonical hashable form of a workload-parameter mapping.
+
+    This is the single canonicalizer shared by the compile cache below and
+    the sweep runner's content-addressed job identities
+    (:mod:`repro.runner.spec`); keeping one definition keeps the
+    translate-once-per-worker cache key and the job IDs in agreement.
+    """
+    return tuple(sorted((params or {}).items()))
+
+
+def workload_key(name: str, params: Optional[Mapping[str, object]] = None) -> WorkloadKey:
+    """Canonical hashable identity of a (workload, params) pair."""
+    return name, frozen_params(params)
 
 
 class SoftwareFramework:
@@ -22,10 +42,20 @@ class SoftwareFramework:
     * ``compile_workload`` — one of the bundled benchmark workloads;
     * ``assemble_ternary`` — native ART-9 assembly, bypassing translation
       (useful for hand-written ternary kernels and for tests).
+
+    ``compile_named_workload`` is the sweep-oriented fourth entry point: it
+    accepts a pure-data workload description (registry name plus builder
+    parameters) and memoises the assembled/translated result, so a
+    long-lived framework instance — e.g. one per sweep worker process —
+    translates each distinct workload instance exactly once no matter how
+    many engine/grid jobs reference it.
     """
 
     def __init__(self, optimize: bool = True):
+        self.optimize = optimize
         self.translator = TernaryTranslator(optimize=optimize)
+        self._workload_cache: Dict[
+            WorkloadKey, Tuple[Program, TranslationReport, Workload]] = {}
 
     def compile_riscv_assembly(self, source: str, name: str = "program"
                                ) -> Tuple[Program, TranslationReport]:
@@ -41,6 +71,25 @@ class SoftwareFramework:
     def compile_workload(self, workload: Workload) -> Tuple[Program, TranslationReport]:
         """Translate one of the bundled benchmark workloads."""
         return self.translator.translate(workload.rv_program())
+
+    def compile_named_workload(
+        self, name: str, params: Optional[Mapping[str, object]] = None,
+    ) -> Tuple[Program, TranslationReport, Workload]:
+        """Build and translate a registered workload from pure data, cached.
+
+        ``name`` is a workload registry name and ``params`` the keyword
+        arguments of its builder (both picklable, so jobs referencing them
+        can cross process boundaries).  Repeated calls with the same
+        identity return the cached (program, report, workload) triple.
+        """
+        key = workload_key(name, params)
+        cached = self._workload_cache.get(key)
+        if cached is None:
+            workload = get_workload(name, **dict(params or {}))
+            program, report = self.translator.translate(workload.rv_program())
+            cached = (program, report, workload)
+            self._workload_cache[key] = cached
+        return cached
 
     @staticmethod
     def assemble_ternary(source: str, name: str = "program") -> Program:

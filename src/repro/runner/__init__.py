@@ -1,0 +1,45 @@
+"""Batch execution layer: sharded sweeps over the evaluation grid.
+
+The paper's evaluation is a grid — every workload crossed with every
+implementation target — and this package is the machinery that runs such
+grids at scale:
+
+* :mod:`repro.runner.spec` — declarative sweep specifications expanded
+  into pure-data jobs with deterministic, content-addressed IDs;
+* :mod:`repro.runner.worker` — persistent worker processes that cache
+  translated programs and turn job specs into plain-dict result records;
+* :mod:`repro.runner.store` — the JSONL result store (append-only,
+  crash-tolerant) plus the human-readable summary table;
+* :mod:`repro.runner.orchestrator` — ``run_sweep``: expansion, resume
+  filtering, sharding across a ``multiprocessing`` pool, result streaming;
+* :mod:`repro.runner.compare` — diffing two runs (cycles, CPI, stalls,
+  architectural-state digests) for regression hunting;
+* :mod:`repro.runner.fuzzpool` — the parallel backend of ``art9 fuzz``.
+
+Everything is exposed through ``art9 sweep`` (and ``art9 fuzz --jobs``) on
+the command line.
+"""
+
+from repro.runner.compare import CompareReport, JobDiff, compare_runs
+from repro.runner.fuzzpool import run_parallel_fuzz
+from repro.runner.orchestrator import SweepOutcome, list_jobs, run_sweep
+from repro.runner.spec import DEFAULT_MAX_CYCLES, SpecError, SweepJob, SweepSpec
+from repro.runner.store import RunStore, StoreError
+from repro.runner.worker import execute_job
+
+__all__ = [
+    "CompareReport",
+    "JobDiff",
+    "compare_runs",
+    "run_parallel_fuzz",
+    "SweepOutcome",
+    "list_jobs",
+    "run_sweep",
+    "DEFAULT_MAX_CYCLES",
+    "SpecError",
+    "SweepJob",
+    "SweepSpec",
+    "RunStore",
+    "StoreError",
+    "execute_job",
+]

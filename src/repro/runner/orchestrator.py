@@ -1,0 +1,120 @@
+"""Sweep orchestrator: expand the grid, shard it, stream the results.
+
+``run_sweep`` is the one entry point: it expands a :class:`SweepSpec` into
+content-addressed jobs, drops every job the run directory already holds an
+``ok`` record for (resume), then executes the remainder either inline
+(``jobs <= 1``) or across a ``multiprocessing`` pool of persistent workers
+(:mod:`repro.runner.worker` caches translated programs per process).
+Finished records are appended to the JSONL store as they arrive, so
+interrupting a sweep at any point loses at most the in-flight jobs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.runner.spec import SweepJob, SweepSpec
+from repro.runner.store import RunStore
+from repro.runner.worker import execute_job
+
+#: Callback invoked with each finished record (CLI progress, tests).
+ProgressFn = Callable[[dict], None]
+
+
+@dataclass
+class SweepOutcome:
+    """What one ``run_sweep`` call did."""
+
+    run_dir: str
+    total_jobs: int
+    executed: int
+    skipped: int
+    records: List[dict] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[dict]:
+        """Records that errored or failed result verification."""
+        return [
+            record for record in self.records
+            if record.get("status") != "ok" or not record.get("verified", False)
+        ]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.failures)} FAILURES"
+        return (
+            f"sweep: {self.total_jobs} jobs ({self.executed} executed, "
+            f"{self.skipped} resumed from {self.run_dir}), {status}"
+        )
+
+
+def run_sweep(
+    spec: SweepSpec,
+    out_dir: str,
+    jobs: int = 1,
+    resume: bool = True,
+    progress: Optional[ProgressFn] = None,
+) -> SweepOutcome:
+    """Execute (or resume) the sweep described by ``spec`` into ``out_dir``.
+
+    ``jobs`` is the worker-process count; ``jobs <= 1`` runs inline in this
+    process (same code path, same caches — just no pool).  With ``resume``
+    (the default) jobs whose IDs already have successful records in
+    ``out_dir`` are skipped; ``resume=False`` wipes the store first.
+    """
+    store = RunStore(out_dir)
+    if not resume:
+        store.reset()
+    store.initialize(spec)
+
+    all_jobs = spec.expand()
+    done = store.completed_ids()
+    pending = [job for job in all_jobs if job.job_id not in done]
+
+    executed: List[dict] = []
+
+    def finish(record: dict) -> None:
+        store.append(record)
+        executed.append(record)
+        if progress is not None:
+            progress(record)
+
+    if len(pending) and jobs > 1:
+        # The pool never outlives the call; workers stay warm across all the
+        # jobs of this run, which is where the per-process translation cache
+        # pays off.  chunksize=1 keeps the shards balanced — job costs vary
+        # by orders of magnitude across the grid (fast vs pipeline engine).
+        with multiprocessing.Pool(processes=jobs) as pool:
+            for record in pool.imap_unordered(execute_job, pending, chunksize=1):
+                finish(record)
+    else:
+        for job in pending:
+            finish(execute_job(job))
+
+    store.write_summary()
+    return SweepOutcome(
+        run_dir=out_dir,
+        total_jobs=len(all_jobs),
+        executed=len(executed),
+        skipped=len(all_jobs) - len(pending),
+        records=store.records(),
+    )
+
+
+def list_jobs(spec: SweepSpec, out_dir: Optional[str] = None) -> List[dict]:
+    """Expanded jobs of ``spec`` with their store status (for ``--list``)."""
+    done = RunStore(out_dir).completed_ids() if out_dir else set()
+    rows = []
+    for job in spec.expand():
+        rows.append({
+            "job_id": job.job_id,
+            "label": job.label,
+            "status": "done" if job.job_id in done else "pending",
+            **job.to_dict(),
+        })
+    return rows

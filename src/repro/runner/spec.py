@@ -1,0 +1,201 @@
+"""Declarative sweep specifications and deterministic job identities.
+
+A :class:`SweepSpec` describes an evaluation grid the way the paper's
+tables do — workloads crossed with execution engines crossed with the
+translator's optimize pass, each workload optionally in several size/seed
+variants — without saying anything about *how* it runs.  ``expand()`` turns
+the grid into flat :class:`SweepJob` records: pure picklable data with a
+content-addressed ``job_id``, which is what makes sharding across worker
+processes and resuming interrupted runs trivial (a job's identity never
+depends on enumeration order, timestamps or host state).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from repro.framework.hwflow import SIMULATION_ENGINES
+from repro.framework.swflow import frozen_params as _frozen_params
+from repro.workloads import all_workloads
+
+#: Default per-job cycle budget (matches ``HardwareFramework.simulate``).
+DEFAULT_MAX_CYCLES = 50_000_000
+
+
+class SpecError(ValueError):
+    """Raised for malformed sweep specifications."""
+
+
+def _normalize_variants(workload: str, value: object) -> List[Dict[str, object]]:
+    """Coerce one ``params`` entry to a list of builder-parameter dicts.
+
+    Accepts the documented list-of-dicts form and the natural single-dict
+    shorthand (``{"gemm": {"n": 8}}`` means one variant); anything else is
+    a :class:`SpecError` naming the expected shape.
+    """
+    if isinstance(value, Mapping):
+        return [dict(value)]
+    if isinstance(value, (list, tuple)):
+        if not all(isinstance(variant, Mapping) for variant in value):
+            raise SpecError(
+                f"params for {workload!r} must be a list of parameter dicts, "
+                f"got {value!r}")
+        return [dict(variant) for variant in value]
+    raise SpecError(
+        f"params for {workload!r} must be a parameter dict or a list of "
+        f"parameter dicts, got {value!r}")
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One cell of the evaluation grid, as pure picklable data."""
+
+    workload: str
+    engine: str
+    optimize: bool
+    params: Tuple[Tuple[str, object], ...] = ()
+    max_cycles: int = DEFAULT_MAX_CYCLES
+
+    @property
+    def params_dict(self) -> Dict[str, object]:
+        """The workload builder parameters as a plain dict."""
+        return dict(self.params)
+
+    @property
+    def job_id(self) -> str:
+        """Content-addressed identity: stable across runs and processes."""
+        blob = json.dumps(
+            {
+                "workload": self.workload,
+                "engine": self.engine,
+                "optimize": self.optimize,
+                "params": [[key, value] for key, value in self.params],
+                "max_cycles": self.max_cycles,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:12]
+
+    @property
+    def label(self) -> str:
+        """Human-readable one-line identity for tables and logs."""
+        params = ",".join(f"{key}={value}" for key, value in self.params)
+        opt = "opt" if self.optimize else "noopt"
+        suffix = f"[{params}]" if params else ""
+        return f"{self.workload}{suffix}/{self.engine}/{opt}"
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "engine": self.engine,
+            "optimize": self.optimize,
+            "params": self.params_dict,
+            "max_cycles": self.max_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SweepJob":
+        return cls(
+            workload=str(data["workload"]),
+            engine=str(data["engine"]),
+            optimize=bool(data["optimize"]),
+            params=_frozen_params(data.get("params")),  # type: ignore[arg-type]
+            max_cycles=int(data.get("max_cycles", DEFAULT_MAX_CYCLES)),  # type: ignore[arg-type]
+        )
+
+
+@dataclass
+class SweepSpec:
+    """The declarative grid: workloads x engines x optimize x params.
+
+    ``workloads`` empty means "every registered workload".  ``params`` maps
+    a workload name to a list of builder-parameter dicts; each entry is one
+    variant of that workload (an empty dict is the registered default).
+    Workloads without an entry run once with default parameters.
+    """
+
+    workloads: Tuple[str, ...] = ()
+    engines: Tuple[str, ...] = tuple(SIMULATION_ENGINES)
+    optimize: Tuple[bool, ...] = (True, False)
+    params: Dict[str, List[Dict[str, object]]] = field(default_factory=dict)
+    max_cycles: int = DEFAULT_MAX_CYCLES
+
+    def validate(self) -> None:
+        """Check the grid axes against the registries before expansion."""
+        known_workloads = sorted(all_workloads())
+        for name in self.effective_workloads():
+            if name not in known_workloads:
+                raise SpecError(f"unknown workload {name!r}; known: {known_workloads}")
+        for engine in self.engines:
+            if engine not in SIMULATION_ENGINES:
+                raise SpecError(
+                    f"unknown engine {engine!r}; known: {list(SIMULATION_ENGINES)}")
+        if not self.engines:
+            raise SpecError("sweep needs at least one engine")
+        if not self.optimize:
+            raise SpecError("sweep needs at least one optimize setting")
+        for name, variants in self.params.items():
+            if name not in self.effective_workloads():
+                raise SpecError(
+                    f"params given for {name!r}, which is not in the workload axis")
+            _normalize_variants(name, variants)
+
+    def effective_workloads(self) -> Tuple[str, ...]:
+        """The workload axis with the empty-tuple default resolved."""
+        return self.workloads or tuple(sorted(all_workloads()))
+
+    def expand(self) -> List[SweepJob]:
+        """Flatten the grid into deterministic job records."""
+        self.validate()
+        jobs: List[SweepJob] = []
+        for workload in self.effective_workloads():
+            raw = self.params.get(workload)
+            variants = _normalize_variants(workload, raw) if raw else [{}]
+            for variant in variants:
+                for engine in self.engines:
+                    for optimize in self.optimize:
+                        jobs.append(SweepJob(
+                            workload=workload,
+                            engine=engine,
+                            optimize=optimize,
+                            params=_frozen_params(variant),
+                            max_cycles=self.max_cycles,
+                        ))
+        return jobs
+
+    # -- serialisation ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "workloads": list(self.workloads),
+            "engines": list(self.engines),
+            "optimize": list(self.optimize),
+            "params": {
+                name: _normalize_variants(name, variants)
+                for name, variants in self.params.items()
+            },
+            "max_cycles": self.max_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SweepSpec":
+        optimize: Iterable[object] = data.get("optimize", (True, False))  # type: ignore[assignment]
+        return cls(
+            workloads=tuple(data.get("workloads", ())),  # type: ignore[arg-type]
+            engines=tuple(data.get("engines", SIMULATION_ENGINES)),  # type: ignore[arg-type]
+            optimize=tuple(bool(value) for value in optimize),
+            params={
+                str(name): [dict(variant) for variant in variants]
+                for name, variants in dict(data.get("params", {})).items()  # type: ignore[arg-type]
+            },
+            max_cycles=int(data.get("max_cycles", DEFAULT_MAX_CYCLES)),  # type: ignore[arg-type]
+        )
+
+    @classmethod
+    def from_file(cls, path: str) -> "SweepSpec":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))

@@ -1,0 +1,186 @@
+"""Structured result store for sweep runs: spec.json + results.jsonl.
+
+One run lives in one directory::
+
+    <run>/spec.json       the expanded-from SweepSpec (resume identity)
+    <run>/results.jsonl   one JSON record per finished job, append-only
+    <run>/summary.txt     human-readable table, rewritten after each run
+
+Records are flushed line-by-line as jobs finish, so a killed run loses at
+most the job that was in flight; :meth:`RunStore.records` tolerates a
+truncated final line for exactly that reason.  Resume semantics fall out of
+the content-addressed job IDs: a rerun skips every ``job_id`` that already
+has an ``ok`` record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Set
+
+from repro.runner.spec import SweepSpec
+
+SPEC_FILENAME = "spec.json"
+RESULTS_FILENAME = "results.jsonl"
+SUMMARY_FILENAME = "summary.txt"
+
+
+class StoreError(RuntimeError):
+    """Raised for inconsistent run directories (e.g. spec mismatch on resume)."""
+
+
+class RunStore:
+    """Filesystem-backed store of one sweep run."""
+
+    def __init__(self, root: str):
+        self.root = root
+
+    # -- paths --------------------------------------------------------------
+
+    @property
+    def spec_path(self) -> str:
+        return os.path.join(self.root, SPEC_FILENAME)
+
+    @property
+    def results_path(self) -> str:
+        return os.path.join(self.root, RESULTS_FILENAME)
+
+    @property
+    def summary_path(self) -> str:
+        return os.path.join(self.root, SUMMARY_FILENAME)
+
+    def exists(self) -> bool:
+        """True when the directory already holds a run."""
+        return os.path.exists(self.spec_path)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def initialize(self, spec: SweepSpec) -> None:
+        """Create the run directory, or check ``spec`` against an existing run.
+
+        Resuming with a *different* spec would silently mix two grids in one
+        results file, so that is an error; delete the directory (or pass a
+        fresh ``--out``) to start over.
+        """
+        os.makedirs(self.root, exist_ok=True)
+        if self.exists():
+            existing = self.load_spec()
+            if existing.to_dict() != spec.to_dict():
+                raise StoreError(
+                    f"run directory {self.root!r} holds a different sweep spec; "
+                    "use a fresh --out directory (or delete this one) to change the grid"
+                )
+            return
+        with open(self.spec_path, "w", encoding="utf-8") as handle:
+            json.dump(spec.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def load_spec(self) -> SweepSpec:
+        """Read back the spec this run was expanded from."""
+        with open(self.spec_path, "r", encoding="utf-8") as handle:
+            return SweepSpec.from_dict(json.load(handle))
+
+    def reset(self) -> None:
+        """Drop all results (keeps the directory; used by ``--no-resume``)."""
+        for path in (self.spec_path, self.results_path, self.summary_path):
+            if os.path.exists(path):
+                os.remove(path)
+
+    # -- records ------------------------------------------------------------
+
+    def append(self, record: dict) -> None:
+        """Append one job record and flush it to disk immediately."""
+        # A killed run can leave a truncated final line with no newline; seal
+        # it off first so the new record does not concatenate onto it (the
+        # torn line is then skipped by ``records`` instead of eating both).
+        needs_newline = False
+        if os.path.exists(self.results_path):
+            with open(self.results_path, "rb") as existing:
+                existing.seek(0, os.SEEK_END)
+                if existing.tell() > 0:
+                    existing.seek(-1, os.SEEK_END)
+                    needs_newline = existing.read(1) != b"\n"
+        with open(self.results_path, "a", encoding="utf-8") as handle:
+            if needs_newline:
+                handle.write("\n")
+            handle.write(json.dumps(record, sort_keys=True, separators=(",", ":")))
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def records(self) -> List[dict]:
+        """All parseable records, newest occurrence of each job winning.
+
+        A truncated trailing line (from a killed run) is skipped rather than
+        raised, so an interrupted sweep stays resumable.
+        """
+        if not os.path.exists(self.results_path):
+            return []
+        by_job: Dict[str, dict] = {}
+        order: List[str] = []
+        with open(self.results_path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                job_id = record.get("job_id")
+                if not job_id:
+                    continue
+                if job_id not in by_job:
+                    order.append(job_id)
+                by_job[job_id] = record
+        return [by_job[job_id] for job_id in order]
+
+    def completed_ids(self) -> Set[str]:
+        """Job IDs that finished successfully (errors are retried on resume)."""
+        return {
+            record["job_id"] for record in self.records()
+            if record.get("status") == "ok"
+        }
+
+    # -- reporting ----------------------------------------------------------
+
+    def summary_table(self, records: Optional[List[dict]] = None) -> str:
+        """Fixed-width results table, one row per job."""
+        records = self.records() if records is None else records
+        header = (
+            f"{'workload':24s} {'engine':8s} {'opt':3s} {'cycles':>12s} "
+            f"{'CPI':>7s} {'stalls':>8s} {'ok':>3s}"
+        )
+        lines = [header, "-" * len(header)]
+        def sort_key(record):
+            return (record.get("workload", ""), str(record.get("params", {})),
+                    record.get("engine", ""), not record.get("optimize", False))
+        for record in sorted(records, key=sort_key):
+            params = record.get("params") or {}
+            name = record.get("workload", "?")
+            if params:
+                name += "[" + ",".join(f"{k}={v}" for k, v in sorted(params.items())) + "]"
+            if record.get("status") != "ok":
+                lines.append(
+                    f"{name:24s} {record.get('engine', '?'):8s} "
+                    f"{'on' if record.get('optimize') else 'off':3s} "
+                    f"ERROR: {record.get('error', 'unknown')}"
+                )
+                continue
+            lines.append(
+                f"{name:24s} {record.get('engine', '?'):8s} "
+                f"{'on' if record.get('optimize') else 'off':3s} "
+                f"{record.get('cycles', 0):>12d} {record.get('cpi', 0.0):>7.3f} "
+                f"{record.get('stall_cycles', 0):>8d} "
+                f"{'yes' if record.get('verified') else 'NO':>3s}"
+            )
+        return "\n".join(lines)
+
+    def write_summary(self) -> str:
+        """Rewrite ``summary.txt`` from the current records; returns the table."""
+        table = self.summary_table()
+        with open(self.summary_path, "w", encoding="utf-8") as handle:
+            handle.write(table)
+            handle.write("\n")
+        return table

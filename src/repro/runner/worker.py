@@ -1,0 +1,123 @@
+"""Persistent sweep workers: pure job specs in, plain-dict records out.
+
+Every function here is importable at module scope so it can cross a
+``multiprocessing`` boundary under any start method.  Worker processes are
+*persistent*: the module-level caches keep one :class:`SoftwareFramework`
+per optimize setting (which itself memoises assembled/translated programs)
+and one :class:`HardwareFramework` per engine, so a worker that executes
+both the fast-engine and pipeline jobs of a workload pays for assembly and
+translation exactly once.
+
+The same property makes the inline (``jobs=1``) path cheap: the
+orchestrator calls :func:`execute_job` directly in-process and hits the
+identical caches.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, Optional
+
+from repro.framework.hwflow import HardwareFramework
+from repro.framework.swflow import SoftwareFramework
+from repro.runner.spec import SweepJob
+from repro.sim.trace import state_digest
+from repro.testing import FuzzReport, GeneratorConfig
+from repro.testing import fuzz as run_fuzz
+
+#: Per-process framework caches (populated lazily; survive across jobs).
+_SOFTWARE: Dict[bool, SoftwareFramework] = {}
+_HARDWARE: Dict[str, HardwareFramework] = {}
+
+
+def _software(optimize: bool) -> SoftwareFramework:
+    framework = _SOFTWARE.get(optimize)
+    if framework is None:
+        framework = _SOFTWARE[optimize] = SoftwareFramework(optimize=optimize)
+    return framework
+
+
+def _hardware(engine: str) -> HardwareFramework:
+    framework = _HARDWARE.get(engine)
+    if framework is None:
+        framework = _HARDWARE[engine] = HardwareFramework(engine=engine)
+    return framework
+
+
+def reset_caches() -> None:
+    """Drop the per-process framework caches (test isolation helper)."""
+    _SOFTWARE.clear()
+    _HARDWARE.clear()
+
+
+def execute_job(job: SweepJob) -> dict:
+    """Run one sweep job and return its structured result record.
+
+    Never raises: failures come back as ``status="error"`` records so one
+    broken grid cell cannot take down a whole sweep (or its worker pool).
+    """
+    started = time.perf_counter()
+    record = {
+        "job_id": job.job_id,
+        "label": job.label,
+        "workload": job.workload,
+        "engine": job.engine,
+        "optimize": job.optimize,
+        "params": job.params_dict,
+        "max_cycles": job.max_cycles,
+        "status": "ok",
+        "worker_pid": os.getpid(),
+    }
+    try:
+        program, report, workload = _software(job.optimize).compile_named_workload(
+            job.workload, job.params_dict)
+        stats, registers, memory = _hardware(job.engine).simulate_with_state(
+            program, max_cycles=job.max_cycles, engine=job.engine)
+        actual = [
+            memory.get(workload.result_base + 4 * index, 0)
+            for index in range(workload.result_count)
+        ]
+        record.update({
+            "cycles": stats.cycles,
+            "instructions": stats.instructions_committed,
+            "cpi": round(stats.cpi, 6),
+            "stall_cycles": stats.stall_cycles,
+            "stats": stats.to_dict(),
+            "state_digest": state_digest(registers, memory),
+            "verified": actual == workload.expected_results,
+            "translated_instructions": report.final_instructions,
+            "instruction_expansion": round(report.instruction_expansion, 6),
+        })
+    except Exception as exc:  # pragma: no cover - exercised via error-path test
+        record["status"] = "error"
+        record["error"] = f"{type(exc).__name__}: {exc}"
+    record["elapsed_s"] = round(time.perf_counter() - started, 6)
+    return record
+
+
+def execute_fuzz_chunk(chunk: dict) -> FuzzReport:
+    """Run one contiguous seed range of a differential fuzzing session.
+
+    ``chunk`` is a plain dict (``seed``, ``count``, ``max_instructions``,
+    ``check_pipeline``) so the parallel fuzz front end can ship work to the
+    same process pool the sweeps use.
+    """
+    return run_fuzz(
+        count=int(chunk["count"]),
+        seed=int(chunk["seed"]),
+        config=GeneratorConfig(),
+        max_instructions=int(chunk.get("max_instructions", 200_000)),
+        check_pipeline=bool(chunk.get("check_pipeline", True)),
+    )
+
+
+def workload_probe(name: str, params: Optional[dict] = None) -> dict:
+    """Cheap worker-side sanity probe (used by tests and diagnostics)."""
+    program, report, workload = _software(True).compile_named_workload(name, params)
+    return {
+        "workload": workload.name,
+        "instructions": len(program.instructions),
+        "translated_instructions": report.final_instructions,
+        "worker_pid": os.getpid(),
+    }

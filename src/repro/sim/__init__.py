@@ -32,6 +32,7 @@ from repro.sim.alu import ALUResult, TernaryALU
 from repro.sim.functional import ExecutionResult, FunctionalSimulator, SimulationError
 from repro.sim.pipeline import PipelineSimulator, PipelineStats
 from repro.sim.engine import FastEngine, execute_program
+from repro.sim.trace import capture_golden_trace, memory_digest, state_digest, trace_mismatches
 
 __all__ = [
     "TernaryMemory",
@@ -46,4 +47,8 @@ __all__ = [
     "PipelineStats",
     "FastEngine",
     "execute_program",
+    "capture_golden_trace",
+    "memory_digest",
+    "state_digest",
+    "trace_mismatches",
 ]

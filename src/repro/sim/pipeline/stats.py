@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict
 
 
@@ -47,6 +47,23 @@ class PipelineStats:
     def stall_cycles(self) -> int:
         """All cycles lost to hazards (stalls plus flush bubbles)."""
         return self.load_use_stalls + self.control_flush_bubbles
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data form for JSON stores and golden-trace fixtures."""
+        data: Dict[str, object] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            data[spec.name] = dict(value) if spec.name == "instruction_mix" else value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PipelineStats":
+        """Rebuild a stats record written by :meth:`to_dict`."""
+        known = {spec.name for spec in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown PipelineStats fields: {sorted(unknown)}")
+        return cls(**data)  # type: ignore[arg-type]
 
     def summary(self) -> str:
         """Human-readable multi-line summary."""

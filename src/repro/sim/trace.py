@@ -1,0 +1,102 @@
+"""Golden architectural traces: capture and digest of final machine state.
+
+A *golden trace* pins the architectural outcome of one program — the final
+register file, the touched data-memory cells and the full
+:class:`~repro.sim.pipeline.stats.PipelineStats` record — as a small JSON
+fixture.  The fixtures are generated from the stage-by-stage pipeline
+simulator (the structural reference model) and replayed against every
+executor, so any later refactor that drifts an engine's architectural
+behaviour or its cycle accounting fails the regression suite immediately.
+
+Memory contents are stored as a SHA-256 digest over a canonical JSON
+rendering (full dumps would bloat the fixtures for large workloads); the
+nine architectural registers are stored verbatim for readable diffs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List, Optional
+
+from repro.isa.program import Program
+from repro.sim.pipeline import PipelineSimulator
+from repro.sim.pipeline.stats import PipelineStats
+
+#: Fixture schema version, bumped when the trace layout changes.
+TRACE_FORMAT = 1
+
+
+def _canonical(data) -> bytes:
+    return json.dumps(data, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def memory_digest(memory: Dict[int, int]) -> str:
+    """SHA-256 digest of the touched TDM cells (address → balanced value)."""
+    return hashlib.sha256(
+        _canonical({str(address): memory[address] for address in sorted(memory)})
+    ).hexdigest()
+
+
+def state_digest(registers: Dict[str, int], memory: Dict[int, int]) -> str:
+    """Combined SHA-256 digest of register file and data memory."""
+    return hashlib.sha256(
+        _canonical({
+            "registers": {name: registers[name] for name in sorted(registers)},
+            "memory_digest": memory_digest(memory),
+        })
+    ).hexdigest()
+
+
+def capture_golden_trace(program: Program, max_cycles: int = 50_000_000) -> dict:
+    """Run the pipeline reference model and record its architectural outcome."""
+    simulator = PipelineSimulator(program)
+    stats = simulator.run(max_cycles=max_cycles)
+    registers = simulator.register_snapshot()
+    memory = simulator.tdm.contents()
+    return {
+        "format": TRACE_FORMAT,
+        "program": program.name,
+        "registers": {name: registers[name] for name in sorted(registers)},
+        "memory_digest": memory_digest(memory),
+        "state_digest": state_digest(registers, memory),
+        "stats": stats.to_dict(),
+    }
+
+
+def trace_mismatches(
+    trace: dict,
+    registers: Dict[str, int],
+    memory: Dict[int, int],
+    stats: Optional[PipelineStats] = None,
+) -> List[str]:
+    """Compare one executor's final state against a golden trace.
+
+    Returns a list of human-readable mismatch descriptions (empty when the
+    state matches).  ``stats`` is optional because the functional simulator
+    has no cycle model to check.
+    """
+    mismatches: List[str] = []
+    expected_registers = trace["registers"]
+    if registers != expected_registers:
+        diffs = {
+            name: (registers.get(name), expected_registers.get(name))
+            for name in sorted(set(registers) | set(expected_registers))
+            if registers.get(name) != expected_registers.get(name)
+        }
+        mismatches.append(f"registers differ (actual, golden): {diffs}")
+    actual_digest = memory_digest(memory)
+    if actual_digest != trace["memory_digest"]:
+        mismatches.append(
+            f"memory digest differs: actual={actual_digest} golden={trace['memory_digest']}"
+        )
+    if stats is not None:
+        golden_stats = trace["stats"]
+        actual_stats = stats.to_dict()
+        for name in sorted(set(actual_stats) | set(golden_stats)):
+            if actual_stats.get(name) != golden_stats.get(name):
+                mismatches.append(
+                    f"stats.{name} differs: actual={actual_stats.get(name)!r} "
+                    f"golden={golden_stats.get(name)!r}"
+                )
+    return mismatches

@@ -115,13 +115,19 @@ def register_workload(name: str):
     return decorator
 
 
-def get_workload(name: str) -> Workload:
-    """Build the workload registered under ``name``."""
+def get_workload(name: str, **params) -> Workload:
+    """Build the workload registered under ``name``.
+
+    Keyword ``params`` are forwarded to the workload builder, so callers can
+    size a benchmark instance declaratively (e.g. ``get_workload("gemm",
+    n=8)`` or ``get_workload("dhrystone", iterations=200)``).  Unknown
+    parameters raise ``TypeError`` from the builder itself.
+    """
     try:
         builder = _BUILDERS[name]
     except KeyError:
         raise KeyError(f"unknown workload {name!r}; known: {sorted(_BUILDERS)}") from None
-    return builder()
+    return builder(**params)
 
 
 def all_workloads() -> Dict[str, Workload]:

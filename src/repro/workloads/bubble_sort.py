@@ -17,9 +17,10 @@ ARRAY_LENGTH = 16
 
 def _source(values) -> str:
     data = ", ".join(str(v) for v in values)
-    last_index = ARRAY_LENGTH - 1
+    length = len(values)
+    last_index = length - 1
     return f"""
-# Bubble sort of {ARRAY_LENGTH} words, in place.
+# Bubble sort of {length} words, in place.
 # Registers: a0 = array base, t0 = outer index, t1 = inner index,
 #            a2 = remaining passes, a3 = element pointer, t2/t3 = elements.
 .text
@@ -51,13 +52,19 @@ array: .word {data}
 
 
 @register_workload("bubble_sort")
-def build_bubble_sort() -> Workload:
-    """Build the bubble-sort workload with its deterministic input array."""
-    values = lcg_values(ARRAY_LENGTH, seed=3, modulus=500)
+def build_bubble_sort(length: int = ARRAY_LENGTH, seed: int = 3) -> Workload:
+    """Build the bubble-sort workload with its deterministic input array.
+
+    ``length`` and ``seed`` size the input array; the defaults reproduce the
+    16-element instance of Table III.
+    """
+    if length < 2:
+        raise ValueError(f"bubble_sort needs at least 2 elements, got {length}")
+    values = lcg_values(length, seed=seed, modulus=500)
     return Workload(
         name="bubble_sort",
         rv_source=_source(values),
         result_base=0,
         expected_results=sorted(values),
-        description=f"in-place bubble sort of {ARRAY_LENGTH} words",
+        description=f"in-place bubble sort of {length} words",
     )

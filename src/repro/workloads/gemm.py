@@ -16,24 +16,28 @@ from repro.workloads.base import Workload, lcg_values, register_workload
 N = 4
 
 
-def _reference(a: List[int], b: List[int]) -> List[int]:
+def _reference(a: List[int], b: List[int], n: int = N) -> List[int]:
     """Row-major C = A * B."""
-    c = [0] * (N * N)
-    for i in range(N):
-        for j in range(N):
+    c = [0] * (n * n)
+    for i in range(n):
+        for j in range(n):
             total = 0
-            for k in range(N):
-                total += a[i * N + k] * b[k * N + j]
-            c[i * N + j] = total
+            for k in range(n):
+                total += a[i * n + k] * b[k * n + j]
+            c[i * n + j] = total
     return c
 
 
-def _source(a: List[int], b: List[int]) -> str:
+def _source(a: List[int], b: List[int], n: int = N) -> str:
+    # The address arithmetic doubles as an index-to-offset shifter, so the
+    # row stride must be a power of two: ``slli rd, rs, log2(n)`` computes
+    # ``i * n`` and the second ``slli`` by 2 converts words to bytes.
+    log2n = n.bit_length() - 1
     mat_a = ", ".join(str(v) for v in a)
     mat_b = ", ".join(str(v) for v in b)
-    zeros = ", ".join("0" for _ in range(N * N))
+    zeros = ", ".join("0" for _ in range(n * n))
     return f"""
-# C = A * B for {N}x{N} row-major word matrices.
+# C = A * B for {n}x{n} row-major word matrices.
 # s0 = i, s1 = j, s2 = k, s3 = accumulator; t0/t1/t2/t3 = address/element temps.
 .text
     li   s0, 0
@@ -44,14 +48,14 @@ loop_j:
     li   s3, 0
 loop_k:
     # t2 = A[i][k]
-    slli t0, s0, 2
+    slli t0, s0, {log2n}
     add  t0, t0, s2
     slli t0, t0, 2
     la   t1, mat_a
     add  t0, t0, t1
     lw   t2, 0(t0)
     # t3 = B[k][j]
-    slli t0, s2, 2
+    slli t0, s2, {log2n}
     add  t0, t0, s1
     slli t0, t0, 2
     la   t1, mat_b
@@ -60,20 +64,20 @@ loop_k:
     mul  t2, t2, t3
     add  s3, s3, t2
     addi s2, s2, 1
-    li   t0, {N}
+    li   t0, {n}
     blt  s2, t0, loop_k
     # C[i][j] = s3
-    slli t0, s0, 2
+    slli t0, s0, {log2n}
     add  t0, t0, s1
     slli t0, t0, 2
     la   t1, mat_c
     add  t0, t0, t1
     sw   s3, 0(t0)
     addi s1, s1, 1
-    li   t0, {N}
+    li   t0, {n}
     blt  s1, t0, loop_j
     addi s0, s0, 1
-    li   t0, {N}
+    li   t0, {n}
     blt  s0, t0, loop_i
     ecall
 
@@ -85,14 +89,21 @@ mat_b: .word {mat_b}
 
 
 @register_workload("gemm")
-def build_gemm() -> Workload:
-    """Build the GEMM workload with deterministic small-valued matrices."""
-    a = lcg_values(N * N, seed=11, modulus=9)
-    b = lcg_values(N * N, seed=23, modulus=9)
+def build_gemm(n: int = N, seed: int = 11) -> Workload:
+    """Build the GEMM workload with deterministic small-valued matrices.
+
+    ``n`` is the matrix dimension (a power of two, so the index arithmetic
+    stays shift-based); the default reproduces the 4x4 instance of
+    Table III.  ``seed`` varies the input matrices.
+    """
+    if n < 2 or n & (n - 1):
+        raise ValueError(f"gemm dimension must be a power of two >= 2, got {n}")
+    a = lcg_values(n * n, seed=seed, modulus=9)
+    b = lcg_values(n * n, seed=seed + 12, modulus=9)
     return Workload(
         name="gemm",
-        rv_source=_source(a, b),
+        rv_source=_source(a, b, n),
         result_base=0,
-        expected_results=_reference(a, b),
-        description=f"{N}x{N} integer matrix multiplication (software multiply on ART-9)",
+        expected_results=_reference(a, b, n),
+        description=f"{n}x{n} integer matrix multiplication (software multiply on ART-9)",
     )

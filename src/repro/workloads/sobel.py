@@ -3,8 +3,8 @@
 The 3x3 Sobel kernels only need coefficients of +-1 and +-2, so the kernel
 is written multiplication-free (doubling by addition); the gradient
 magnitude is approximated, as is common on integer hardware, by
-``|Gx| + |Gy|``.  The filter is evaluated on the 6x6 interior pixels and the
-36 results are written to the output region.
+``|Gx| + |Gy|``.  The filter is evaluated on the interior pixels (6x6 by
+default) and the results are written to the output region.
 """
 
 from __future__ import annotations
@@ -21,13 +21,13 @@ INNER = SIZE - 2
 ROW_BYTES = 4 * SIZE
 
 
-def _reference(image: List[int]) -> List[int]:
+def _reference(image: List[int], size: int = SIZE) -> List[int]:
     """|Gx| + |Gy| over the interior pixels, row-major."""
     out = []
-    for row in range(1, SIZE - 1):
-        for col in range(1, SIZE - 1):
+    for row in range(1, size - 1):
+        for col in range(1, size - 1):
             def pixel(dr, dc):
-                return image[(row + dr) * SIZE + (col + dc)]
+                return image[(row + dr) * size + (col + dc)]
 
             gx = (pixel(-1, 1) + 2 * pixel(0, 1) + pixel(1, 1)) - (
                 pixel(-1, -1) + 2 * pixel(0, -1) + pixel(1, -1))
@@ -37,11 +37,20 @@ def _reference(image: List[int]) -> List[int]:
     return out
 
 
-def _source(image: List[int]) -> str:
+def _source(image: List[int], size: int = SIZE) -> str:
+    # The centre-pixel address is computed as ``(row << log2(size) + col) * 4``,
+    # so the image side must be a power of two; the eight neighbour loads are
+    # then fixed byte offsets around the centre.
+    log2size = size.bit_length() - 1
+    row_bytes = 4 * size
+    inner = size - 2
     pixels = ", ".join(str(v) for v in image)
-    zeros = ", ".join("0" for _ in range(INNER * INNER))
+    zeros = ", ".join("0" for _ in range(inner * inner))
+    ne, nw = 4 - row_bytes, -row_bytes - 4
+    se, sw = row_bytes + 4, row_bytes - 4
+    n_off, s_off = -row_bytes, row_bytes
     return f"""
-# Sobel filter (|Gx| + |Gy|) over the interior of an {SIZE}x{SIZE} image.
+# Sobel filter (|Gx| + |Gy|) over the interior of an {size}x{size} image.
 # s0 = row, s1 = column, t0 = centre-pixel address, a5 = output pointer,
 # a3 = Gx accumulator, a4 = Gy accumulator, t2 = loaded pixel.
 .text
@@ -51,42 +60,42 @@ row_loop:
     li   s1, 1
 col_loop:
     # t0 = &image[row][col]
-    slli t0, s0, 3
+    slli t0, s0, {log2size}
     add  t0, t0, s1
     slli t0, t0, 2
     la   t1, image
     add  t0, t0, t1
 
     # Gx = (NE + 2E + SE) - (NW + 2W + SW)
-    lw   t2, -28(t0)        # NE
+    lw   t2, {ne}(t0)        # NE
     mv   a3, t2
     lw   t2, 4(t0)          # E
     add  a3, a3, t2
     add  a3, a3, t2
-    lw   t2, 36(t0)         # SE
+    lw   t2, {se}(t0)        # SE
     add  a3, a3, t2
-    lw   t2, -36(t0)        # NW
+    lw   t2, {nw}(t0)        # NW
     sub  a3, a3, t2
     lw   t2, -4(t0)         # W
     sub  a3, a3, t2
     sub  a3, a3, t2
-    lw   t2, 28(t0)         # SW
+    lw   t2, {sw}(t0)        # SW
     sub  a3, a3, t2
 
     # Gy = (SW + 2S + SE) - (NW + 2N + NE)
-    lw   t2, 28(t0)         # SW
+    lw   t2, {sw}(t0)        # SW
     mv   a4, t2
-    lw   t2, 32(t0)         # S
+    lw   t2, {s_off}(t0)        # S
     add  a4, a4, t2
     add  a4, a4, t2
-    lw   t2, 36(t0)         # SE
+    lw   t2, {se}(t0)        # SE
     add  a4, a4, t2
-    lw   t2, -36(t0)        # NW
+    lw   t2, {nw}(t0)        # NW
     sub  a4, a4, t2
-    lw   t2, -32(t0)        # N
+    lw   t2, {n_off}(t0)        # N
     sub  a4, a4, t2
     sub  a4, a4, t2
-    lw   t2, -28(t0)        # NE
+    lw   t2, {ne}(t0)        # NE
     sub  a4, a4, t2
 
     # magnitude = |Gx| + |Gy|
@@ -101,10 +110,10 @@ gy_positive:
     addi a5, a5, 4
 
     addi s1, s1, 1
-    li   t1, {SIZE - 1}
+    li   t1, {size - 1}
     blt  s1, t1, col_loop
     addi s0, s0, 1
-    li   t1, {SIZE - 1}
+    li   t1, {size - 1}
     blt  s0, t1, row_loop
     ecall
 
@@ -115,13 +124,20 @@ image:  .word {pixels}
 
 
 @register_workload("sobel")
-def build_sobel() -> Workload:
-    """Build the Sobel workload with a deterministic 8x8 test image."""
-    image = lcg_values(SIZE * SIZE, seed=41, modulus=256)
+def build_sobel(size: int = SIZE, seed: int = 41) -> Workload:
+    """Build the Sobel workload with a deterministic test image.
+
+    ``size`` is the image side length (a power of two >= 4, so the row
+    addressing stays shift-based); the default reproduces the 8x8 instance
+    of Table III.  ``seed`` varies the image contents.
+    """
+    if size < 4 or size & (size - 1):
+        raise ValueError(f"sobel image size must be a power of two >= 4, got {size}")
+    image = lcg_values(size * size, seed=seed, modulus=256)
     return Workload(
         name="sobel",
-        rv_source=_source(image),
+        rv_source=_source(image, size),
         result_base=0,
-        expected_results=_reference(image),
-        description=f"Sobel edge filter over an {SIZE}x{SIZE} image (multiplication-free)",
+        expected_results=_reference(image, size),
+        description=f"Sobel edge filter over an {size}x{size} image (multiplication-free)",
     )

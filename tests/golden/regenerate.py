@@ -1,0 +1,57 @@
+"""Regenerate the golden-trace fixtures from the pipeline reference model.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+Only do this deliberately — e.g. after an *intentional* architectural or
+cycle-model change — and review the resulting fixture diffs like any other
+behaviour change.  The regression suite (``tests/test_golden_traces.py``)
+replays all three executors against these files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+
+from repro.framework import SoftwareFramework  # noqa: E402
+from repro.sim.trace import capture_golden_trace  # noqa: E402
+
+#: (workload name, builder params) instances pinned by the suite.
+GOLDEN_INSTANCES = [
+    ("bubble_sort", {}),
+    ("gemm", {}),
+    ("sobel", {}),
+    ("dhrystone", {}),
+]
+
+FIXTURE_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def fixture_path(name: str, params: dict) -> str:
+    suffix = "".join(f"_{key}{value}" for key, value in sorted(params.items()))
+    return os.path.join(FIXTURE_DIR, f"{name}{suffix}.json")
+
+
+def regenerate() -> None:
+    software = SoftwareFramework(optimize=True)
+    for name, params in GOLDEN_INSTANCES:
+        program, _, workload = software.compile_named_workload(name, params)
+        trace = capture_golden_trace(program)
+        trace["workload"] = name
+        trace["params"] = params
+        trace["optimize"] = True
+        path = fixture_path(name, params)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(trace, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {path}: {trace['stats']['cycles']} cycles, "
+              f"digest {trace['state_digest'][:12]}…")
+
+
+if __name__ == "__main__":
+    regenerate()

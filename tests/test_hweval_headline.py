@@ -1,0 +1,125 @@
+"""Headline-number regression tests for the hardware evaluation models.
+
+The gate-level analyzer, the FPGA emulation model and the performance
+estimator reproduce the paper's Tables II, IV and V.  These tests pin the
+headline quantities of that reproduction — gate count, maximum frequency,
+power, FPGA resources, and the Dhrystone-derived DMIPS figures — within
+tight tolerances, so a refactor of the netlist inventory, the technology
+characterisation or the estimator arithmetic cannot silently shift the
+reported results.  Exact-integer quantities (gate and resource counts) are
+asserted exactly; derived analog quantities get a small relative tolerance.
+"""
+
+import pytest
+
+from repro.framework import HardwareFramework, SoftwareFramework
+from repro.hweval import DhrystoneMetrics, PerformanceEstimator
+from repro.workloads import get_workload
+
+REL = 0.02  # 2% tolerance on derived analog quantities
+
+
+@pytest.fixture(scope="module")
+def hardware():
+    return HardwareFramework()
+
+
+@pytest.fixture(scope="module")
+def gate_report(hardware):
+    return hardware.analyze_gates()
+
+
+@pytest.fixture(scope="module")
+def fpga_report(hardware):
+    return hardware.analyze_fpga()
+
+
+@pytest.fixture(scope="module")
+def dhrystone_evaluation(hardware):
+    workload = get_workload("dhrystone")
+    program, report = SoftwareFramework().compile_workload(workload)
+    return hardware.evaluate(program, iterations=workload.iterations), report
+
+
+class TestGateLevelHeadlines:
+    def test_total_gate_count(self, gate_report):
+        assert gate_report.total_gates == 631
+
+    def test_transistor_count(self, gate_report):
+        assert gate_report.transistor_count == 8248
+
+    def test_critical_path_is_the_ex_stage(self, gate_report):
+        assert gate_report.critical_stage == "EX"
+        assert gate_report.critical_delay_ps == pytest.approx(3240.0, rel=REL)
+
+    def test_cntfet_max_frequency(self, gate_report):
+        assert gate_report.max_frequency_mhz == pytest.approx(308.6, rel=REL)
+
+    def test_cntfet_power_budget(self, gate_report):
+        assert gate_report.static_power_uw == pytest.approx(31.53, rel=REL)
+        assert gate_report.total_power_uw == pytest.approx(43.65, rel=REL)
+        # The whole CNTFET core stays well under a milliwatt at fmax.
+        assert gate_report.total_power_uw < 1000
+
+
+class TestFPGAHeadlines:
+    def test_resource_counts(self, fpga_report):
+        assert fpga_report.alms == 801
+        assert fpga_report.registers == 360
+        assert fpga_report.ram_bits == 9216
+
+    def test_operating_point(self, fpga_report):
+        assert fpga_report.frequency_mhz == pytest.approx(150.0)
+        assert fpga_report.total_power_w == pytest.approx(1.084, rel=REL)
+
+
+class TestDhrystoneHeadlines:
+    def test_cycle_count_and_cpi(self, dhrystone_evaluation):
+        result, _ = dhrystone_evaluation
+        assert result.pipeline_stats.cycles == 10380
+        assert result.pipeline_stats.cpi == pytest.approx(1.229, rel=REL)
+
+    def test_dmips_per_mhz_is_implementation_independent(self, dhrystone_evaluation):
+        result, _ = dhrystone_evaluation
+        assert result.cntfet_performance.dmips_per_mhz == pytest.approx(2.742, rel=REL)
+        assert result.fpga_performance.dmips_per_mhz == pytest.approx(
+            result.cntfet_performance.dmips_per_mhz)
+
+    def test_cntfet_dmips(self, dhrystone_evaluation):
+        result, _ = dhrystone_evaluation
+        assert result.cntfet_performance.dmips == pytest.approx(846.2, rel=REL)
+        assert result.cntfet_performance.dmips_per_watt == pytest.approx(
+            1.938e7, rel=REL)
+
+    def test_fpga_dmips(self, dhrystone_evaluation):
+        result, _ = dhrystone_evaluation
+        assert result.fpga_performance.dmips == pytest.approx(411.2, rel=REL)
+        assert result.fpga_performance.dmips_per_watt == pytest.approx(379.3, rel=REL)
+
+    def test_translation_and_memory_headlines(self, dhrystone_evaluation):
+        _, report = dhrystone_evaluation
+        assert report.instruction_expansion == pytest.approx(2.477, rel=REL)
+        # Fig. 5: the ternary encoding stores the program in ~70% of the
+        # binary memory cells.
+        assert report.memory_cell_ratio == pytest.approx(0.697, rel=REL)
+
+    def test_memory_cells(self, dhrystone_evaluation):
+        result, _ = dhrystone_evaluation
+        assert result.memory_cells_trits == 2997
+
+
+class TestEstimatorArithmetic:
+    def test_dmips_conversion_against_the_vax_reference(self):
+        # 1757 iterations/second at 1 MHz is exactly 1 DMIPS/MHz.
+        metrics = DhrystoneMetrics(cycles=1_000_000, iterations=1757)
+        assert metrics.dmips_per_mhz == pytest.approx(1.0)
+        assert metrics.dmips_at(100.0) == pytest.approx(100.0)
+
+    def test_gate_level_report_scales_power_with_frequency(self, gate_report):
+        estimator = PerformanceEstimator(
+            DhrystoneMetrics(cycles=1_000_000, iterations=1757))
+        full = estimator.for_gate_level(gate_report)
+        half = estimator.for_gate_level(
+            gate_report, frequency_mhz=gate_report.max_frequency_mhz / 2)
+        assert half.dmips == pytest.approx(full.dmips / 2, rel=1e-6)
+        assert half.power_w < full.power_w

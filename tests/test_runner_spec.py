@@ -1,0 +1,164 @@
+"""Unit tests for sweep specifications, job identities and the result store."""
+
+import json
+import os
+
+import pytest
+
+from repro.runner import RunStore, SpecError, StoreError, SweepJob, SweepSpec
+from repro.runner.spec import DEFAULT_MAX_CYCLES
+
+
+class TestSweepJob:
+    def test_job_id_is_deterministic(self):
+        job = SweepJob(workload="gemm", engine="fast", optimize=True)
+        again = SweepJob(workload="gemm", engine="fast", optimize=True)
+        assert job.job_id == again.job_id
+        assert len(job.job_id) == 12
+
+    def test_job_id_ignores_param_order(self):
+        a = SweepJob("gemm", "fast", True, params=(("n", 8), ("seed", 1)))
+        b = SweepJob.from_dict(
+            {"workload": "gemm", "engine": "fast", "optimize": True,
+             "params": {"seed": 1, "n": 8}})
+        assert a.job_id == b.job_id
+
+    def test_job_id_separates_every_axis(self):
+        base = SweepJob("gemm", "fast", True)
+        assert base.job_id != SweepJob("gemm", "pipeline", True).job_id
+        assert base.job_id != SweepJob("gemm", "fast", False).job_id
+        assert base.job_id != SweepJob("sobel", "fast", True).job_id
+        assert base.job_id != SweepJob("gemm", "fast", True,
+                                       params=(("n", 8),)).job_id
+        assert base.job_id != SweepJob("gemm", "fast", True,
+                                       max_cycles=1000).job_id
+
+    def test_round_trip(self):
+        job = SweepJob("sobel", "pipeline", False, params=(("size", 16),),
+                       max_cycles=123)
+        assert SweepJob.from_dict(job.to_dict()) == job
+
+    def test_label(self):
+        job = SweepJob("gemm", "fast", False, params=(("n", 8),))
+        assert job.label == "gemm[n=8]/fast/noopt"
+
+
+class TestSweepSpec:
+    def test_default_grid_covers_all_workloads(self):
+        jobs = SweepSpec().expand()
+        # 4 workloads x 2 engines x 2 optimize settings
+        assert len(jobs) == 16
+        assert len({job.job_id for job in jobs}) == 16
+        assert {job.workload for job in jobs} == {
+            "bubble_sort", "dhrystone", "gemm", "sobel"}
+
+    def test_params_add_variants(self):
+        spec = SweepSpec(workloads=("gemm",), engines=("fast",),
+                         optimize=(True,),
+                         params={"gemm": [{}, {"n": 2}, {"n": 8}]})
+        jobs = spec.expand()
+        assert len(jobs) == 3
+        assert [job.params_dict for job in jobs] == [{}, {"n": 2}, {"n": 8}]
+
+    def test_round_trip(self):
+        spec = SweepSpec(workloads=("gemm", "sobel"), engines=("fast",),
+                         optimize=(True,), params={"gemm": [{"n": 2}]},
+                         max_cycles=777)
+        rebuilt = SweepSpec.from_dict(spec.to_dict())
+        assert rebuilt.to_dict() == spec.to_dict()
+        assert [job.job_id for job in rebuilt.expand()] == \
+               [job.job_id for job in spec.expand()]
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"workloads": ["bubble_sort"],
+                                    "engines": ["fast"], "optimize": [True]}))
+        spec = SweepSpec.from_file(str(path))
+        assert [job.label for job in spec.expand()] == ["bubble_sort/fast/opt"]
+
+    @pytest.mark.parametrize("kwargs", [
+        {"workloads": ("no_such_workload",)},
+        {"engines": ("warp",)},
+        {"engines": ()},
+        {"optimize": ()},
+        {"workloads": ("gemm",), "params": {"sobel": [{}]}},
+        {"workloads": ("gemm",), "params": {"gemm": "n=8"}},
+        {"workloads": ("gemm",), "params": {"gemm": [{"n": 8}, "oops"]}},
+    ])
+    def test_validation_errors(self, kwargs):
+        with pytest.raises(SpecError):
+            SweepSpec(**kwargs).expand()
+
+    def test_single_dict_params_shorthand(self):
+        shorthand = SweepSpec(workloads=("gemm",), engines=("fast",),
+                              optimize=(True,), params={"gemm": {"n": 8}})
+        canonical = SweepSpec(workloads=("gemm",), engines=("fast",),
+                              optimize=(True,), params={"gemm": [{"n": 8}]})
+        assert [job.job_id for job in shorthand.expand()] == \
+               [job.job_id for job in canonical.expand()]
+        # to_dict emits the list form either way, so resume identity is
+        # stable no matter which spelling the user typed.
+        assert shorthand.to_dict() == canonical.to_dict()
+
+    def test_default_max_cycles_matches_framework(self):
+        assert SweepSpec().max_cycles == DEFAULT_MAX_CYCLES
+
+
+class TestRunStore:
+    def _record(self, job_id, status="ok", **extra):
+        return {"job_id": job_id, "status": status, **extra}
+
+    def test_records_and_completed_ids(self, tmp_path):
+        store = RunStore(str(tmp_path / "run"))
+        store.initialize(SweepSpec(workloads=("gemm",)))
+        store.append(self._record("aaa"))
+        store.append(self._record("bbb", status="error", error="boom"))
+        assert [r["job_id"] for r in store.records()] == ["aaa", "bbb"]
+        # Errors are retried on resume: only ok records count as completed.
+        assert store.completed_ids() == {"aaa"}
+
+    def test_latest_record_per_job_wins(self, tmp_path):
+        store = RunStore(str(tmp_path / "run"))
+        store.initialize(SweepSpec(workloads=("gemm",)))
+        store.append(self._record("aaa", status="error", error="boom"))
+        store.append(self._record("aaa", cycles=5))
+        records = store.records()
+        assert len(records) == 1
+        assert records[0]["status"] == "ok"
+        assert store.completed_ids() == {"aaa"}
+
+    def test_truncated_trailing_line_is_tolerated(self, tmp_path):
+        store = RunStore(str(tmp_path / "run"))
+        store.initialize(SweepSpec(workloads=("gemm",)))
+        store.append(self._record("aaa"))
+        with open(store.results_path, "a", encoding="utf-8") as handle:
+            handle.write('{"job_id": "bbb", "status": "o')  # killed mid-write
+        assert store.completed_ids() == {"aaa"}
+
+    def test_resuming_with_a_different_spec_is_refused(self, tmp_path):
+        store = RunStore(str(tmp_path / "run"))
+        store.initialize(SweepSpec(workloads=("gemm",)))
+        with pytest.raises(StoreError):
+            store.initialize(SweepSpec(workloads=("sobel",)))
+
+    def test_reset_clears_the_run(self, tmp_path):
+        store = RunStore(str(tmp_path / "run"))
+        store.initialize(SweepSpec(workloads=("gemm",)))
+        store.append(self._record("aaa"))
+        store.reset()
+        assert not store.exists()
+        assert store.records() == []
+        store.initialize(SweepSpec(workloads=("sobel",)))  # now allowed
+        assert store.load_spec().workloads == ("sobel",)
+
+    def test_summary_table_lists_errors(self, tmp_path):
+        store = RunStore(str(tmp_path / "run"))
+        os.makedirs(store.root, exist_ok=True)
+        table = store.summary_table([
+            self._record("aaa", workload="gemm", engine="fast", optimize=True,
+                         cycles=100, cpi=1.25, stall_cycles=3, verified=True),
+            self._record("bbb", workload="sobel", engine="fast", optimize=False,
+                         status="error", error="KeyError: 'x'"),
+        ])
+        assert "gemm" in table and "1.250" in table
+        assert "ERROR: KeyError: 'x'" in table
