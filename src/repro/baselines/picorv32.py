@@ -46,9 +46,18 @@ class PicoRV32Model:
     def __init__(self, costs: PicoRV32CycleCosts = None):
         self.costs = costs or PicoRV32CycleCosts()
 
-    def run(self, program: RVProgram, max_instructions: int = 20_000_000) -> BaselineRunResult:
-        """Run ``program`` to completion and accumulate the cycle cost."""
-        simulator = RVSimulator(program)
+    def run(self, program: RVProgram, max_instructions: int = 20_000_000,
+            simulator: RVSimulator = None,
+            max_cycles: int = None) -> BaselineRunResult:
+        """Run ``program`` to completion and accumulate the cycle cost.
+
+        Pass a freshly built ``simulator`` to keep a handle on the final
+        architectural state (the sweep runner verifies the result region
+        against the workload reference that way).  ``max_cycles`` bounds
+        the *modelled* cycle count, so a sweep's per-job cycle budget means
+        the same thing on every engine of the grid.
+        """
+        simulator = simulator or RVSimulator(program)
         costs = self.costs
         cycles = 0
         detail = {"shift_bits": 0}
@@ -56,6 +65,8 @@ class PicoRV32Model:
         while not simulator.halted:
             if simulator.instructions_executed >= max_instructions:
                 raise RuntimeError("PicoRV32 model: program did not halt")
+            if max_cycles is not None and cycles >= max_cycles:
+                raise RuntimeError("PicoRV32 model: cycle budget exhausted")
             pc_before = simulator.pc
             instruction = simulator.step()
             spec = instruction.spec

@@ -43,9 +43,18 @@ class VexRiscvModel:
     def __init__(self, parameters: VexRiscvParameters = None):
         self.parameters = parameters or VexRiscvParameters()
 
-    def run(self, program: RVProgram, max_instructions: int = 20_000_000) -> BaselineRunResult:
-        """Run ``program`` to completion and accumulate the cycle cost."""
-        simulator = RVSimulator(program)
+    def run(self, program: RVProgram, max_instructions: int = 20_000_000,
+            simulator: RVSimulator = None,
+            max_cycles: int = None) -> BaselineRunResult:
+        """Run ``program`` to completion and accumulate the cycle cost.
+
+        Pass a freshly built ``simulator`` to keep a handle on the final
+        architectural state (the sweep runner verifies the result region
+        against the workload reference that way).  ``max_cycles`` bounds
+        the *modelled* cycle count, so a sweep's per-job cycle budget means
+        the same thing on every engine of the grid.
+        """
+        simulator = simulator or RVSimulator(program)
         params = self.parameters
         cycles = params.pipeline_fill
         detail = {"load_use_stalls": 0, "taken_branches": 0, "jumps": 0}
@@ -54,6 +63,8 @@ class VexRiscvModel:
         while not simulator.halted:
             if simulator.instructions_executed >= max_instructions:
                 raise RuntimeError("VexRiscv model: program did not halt")
+            if max_cycles is not None and cycles >= max_cycles:
+                raise RuntimeError("VexRiscv model: cycle budget exhausted")
             pc_before = simulator.pc
             instruction = simulator.step()
             spec = instruction.spec

@@ -6,15 +6,21 @@ Subcommands::
     art9 run <file.s>              translate and run a cycle-accurate simulation
     art9 bench [workload ...]      run the bundled benchmarks (cycle counts)
     art9 sweep                     run/resume/compare/list evaluation sweeps
+    art9 serve                     coordinate a sweep for remote workers (TCP)
+    art9 work                      execute jobs for a remote coordinator
+    art9 report                    paper tables (II-V, Fig. 5) from sweep runs
     art9 fuzz                      differential-fuzz the three ART-9 executors
     art9 hw                        print the gate-level / FPGA analysis
     art9 workloads                 list the bundled benchmark workloads
 
 ``run`` and ``bench`` accept ``--engine {fast,pipeline}`` to choose between
 the pre-decoded integer engine (default) and the stage-by-stage pipeline
-model; both produce identical cycle statistics.  ``sweep`` and ``fuzz
---jobs N`` shard their work across a pool of persistent worker processes
-(see :mod:`repro.runner`).
+model; both produce identical cycle statistics.  ``sweep`` shards its grid
+across an execution backend (``--backend {serial,multiprocessing,queue}``),
+and ``serve``/``work`` split the queue backend across machines: the
+coordinator hands jobs to any number of connected workers and streams
+their records into the usual JSONL run directory (see
+:mod:`repro.service`).
 
 The CLI is a thin wrapper over :mod:`repro.framework`; anything it prints can
 also be obtained programmatically.
@@ -24,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import socket
 import sys
 from typing import List, Optional
 
@@ -31,16 +38,30 @@ from repro.baselines import PicoRV32Model, VexRiscvModel
 from repro.framework import HardwareFramework, SoftwareFramework
 from repro.framework.hwflow import SIMULATION_ENGINES
 from repro.runner import (
+    ALL_ENGINES,
     DEFAULT_MAX_CYCLES,
     RunStore,
+    SWEEP_PRESETS,
     SpecError,
     StoreError,
     SweepSpec,
     compare_runs,
     list_jobs,
+    preset_spec,
     run_parallel_fuzz,
     run_sweep,
 )
+from repro.service import (
+    AsyncQueueBackend,
+    CoordinatorBindError,
+    MultiprocessingBackend,
+    ResultsDB,
+    SerialBackend,
+    build_report,
+    render_report,
+    work,
+)
+from repro.service.protocol import DEFAULT_PORT
 from repro.workloads import all_workloads, get_workload
 
 
@@ -94,17 +115,50 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
+    grid_flags_used = (args.workloads or args.engines or args.params
+                       or args.optimize is not None
+                       or args.max_cycles is not None)
     if args.spec:
+        if getattr(args, "preset", None) or grid_flags_used:
+            raise SpecError(
+                "--spec replaces the grid flags and --preset; drop one side")
         return SweepSpec.from_file(args.spec)
-    optimize = {"both": (True, False), "on": (True,), "off": (False,)}[args.optimize]
+    if getattr(args, "preset", None):
+        if grid_flags_used:
+            raise SpecError(
+                "--preset replaces the grid flags; drop --workloads/"
+                "--engines/--params/--optimize/--max-cycles or the preset")
+        return preset_spec(args.preset)
+    optimize = {None: (True, False), "both": (True, False),
+                "on": (True,), "off": (False,)}[args.optimize]
     params = json.loads(args.params) if args.params else {}
     return SweepSpec(
         workloads=tuple(args.workloads or ()),
         engines=tuple(args.engines or SIMULATION_ENGINES),
         optimize=optimize,
         params=params,
-        max_cycles=args.max_cycles,
+        max_cycles=(DEFAULT_MAX_CYCLES if args.max_cycles is None
+                    else args.max_cycles),
     )
+
+
+def _sweep_progress(record: dict) -> None:
+    if record.get("status") == "ok":
+        print(
+            f"[{record['job_id']}] {record['label']:40s} "
+            f"{record['cycles']:>12d} cycles  CPI {record['cpi']:.3f}  "
+            f"{'ok' if record.get('verified') else 'RESULT MISMATCH'}"
+        )
+    else:
+        print(f"[{record['job_id']}] {record['label']:40s} {record.get('error')}")
+
+
+def _finish_sweep(args: argparse.Namespace, outcome) -> int:
+    print()
+    print(RunStore(args.out).summary_table(outcome.records))
+    print()
+    print(outcome.summary())
+    return 0 if outcome.ok else 1
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -128,23 +182,94 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
             print(f"{row['job_id']}  {row['status']:8s} {row['label']}")
         return 0
 
-    def progress(record: dict) -> None:
-        if record.get("status") == "ok":
-            print(
-                f"[{record['job_id']}] {record['label']:40s} "
-                f"{record['cycles']:>12d} cycles  CPI {record['cpi']:.3f}  "
-                f"{'ok' if record.get('verified') else 'RESULT MISMATCH'}"
-            )
-        else:
-            print(f"[{record['job_id']}] {record['label']:40s} {record.get('error')}")
-
+    backend = None
+    if args.backend == "serial":
+        backend = SerialBackend()
+    elif args.backend == "multiprocessing":
+        backend = MultiprocessingBackend(processes=max(1, args.jobs))
+    elif args.backend == "queue":
+        backend = AsyncQueueBackend(workers=max(1, args.jobs))
     outcome = run_sweep(spec, args.out, jobs=args.jobs,
-                        resume=not args.no_resume, progress=progress)
-    print()
-    print(RunStore(args.out).summary_table(outcome.records))
-    print()
-    print(outcome.summary())
-    return 0 if outcome.ok else 1
+                        resume=not args.no_resume, progress=_sweep_progress,
+                        backend=backend)
+    return _finish_sweep(args, outcome)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    try:
+        spec = _sweep_spec_from_args(args)
+    except (SpecError, StoreError, json.JSONDecodeError) as exc:
+        print(f"art9 serve: {exc}", file=sys.stderr)
+        return 2
+
+    def announce(host: str, port: int) -> None:
+        # A wildcard bind is not a dialable address; suggest something a
+        # remote worker can actually connect to.
+        reachable = socket.gethostname() if host in ("0.0.0.0", "::") else host
+        print(f"coordinator listening on {host}:{port}; start workers with:")
+        print(f"    art9 work --connect {reachable}:{port}")
+        sys.stdout.flush()
+
+    backend = AsyncQueueBackend(
+        workers=args.local_workers,
+        host=args.host,
+        port=args.port,
+        heartbeat_timeout=args.heartbeat_timeout,
+        max_requeues=args.max_requeues,
+        on_started=announce,
+    )
+    try:
+        outcome = run_sweep(spec, args.out, resume=not args.no_resume,
+                            progress=_sweep_progress, backend=backend)
+    except (CoordinatorBindError, SpecError, StoreError) as exc:
+        print(f"art9 serve: {exc}", file=sys.stderr)
+        return 2
+    if backend.stats is not None:
+        print()
+        print(backend.stats.summary())
+    return _finish_sweep(args, outcome)
+
+
+def _cmd_work(args: argparse.Namespace) -> int:
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        print(f"art9 work: --connect expects HOST:PORT, got {args.connect!r}",
+              file=sys.stderr)
+        return 2
+    try:
+        summary = work(host, int(port), name=args.name,
+                       heartbeat_interval=args.heartbeat_interval,
+                       retry_seconds=args.retry_seconds)
+    except OSError as exc:
+        print(f"art9 work: cannot reach coordinator at {args.connect}: {exc}",
+              file=sys.stderr)
+        return 2
+    print(summary.summary())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    try:
+        with ResultsDB(args.db) as db:
+            for run_dir in args.runs:
+                ingest = db.ingest(run_dir)
+                print(ingest.summary(), file=sys.stderr)
+            if not db.runs():
+                print("art9 report: no runs ingested (pass run directories, "
+                      "or --db with previously ingested runs)", file=sys.stderr)
+                return 2
+            tables = build_report(db)
+    except (StoreError, SpecError, json.JSONDecodeError) as exc:
+        print(f"art9 report: {exc}", file=sys.stderr)
+        return 2
+    document = render_report(tables, fmt=args.format)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(document)
+        print(f"report written to {args.out}", file=sys.stderr)
+    else:
+        print(document, end="")
+    return 0 if all(table.ok for table in tables) else 1
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -174,6 +299,31 @@ def _cmd_hw(args: argparse.Namespace) -> int:
     print()
     print(hardware.analyze_fpga().summary())
     return 0
+
+
+def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
+    """Sweep-grid flags shared by ``art9 sweep`` and ``art9 serve``."""
+    parser.add_argument("--workloads", nargs="*", default=None,
+                        help="workload names (default: all registered)")
+    parser.add_argument("--engines", nargs="*", choices=ALL_ENGINES,
+                        default=None,
+                        help="engines (default: fast pipeline; baseline cores: "
+                             "picorv32 vexriscv armv6m)")
+    parser.add_argument("--optimize", choices=("both", "on", "off"),
+                        default=None,
+                        help="translator optimize axis (default: both)")
+    parser.add_argument("--params", default=None,
+                        help='JSON workload variants, e.g. '
+                             '\'{"gemm": [{}, {"n": 8}]}\'')
+    parser.add_argument("--preset", choices=SWEEP_PRESETS, default=None,
+                        help="named grid, replacing the other grid flags: "
+                             "default (grown size variants), paper (all "
+                             "engines incl. baselines), smoke")
+    parser.add_argument("--spec", default=None,
+                        help="JSON sweep spec file, replacing the grid flags "
+                             "and --preset")
+    parser.add_argument("--max-cycles", type=int, default=None,
+                        help=f"per-job cycle budget (default: {DEFAULT_MAX_CYCLES})")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -209,18 +359,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "the same directory resumes it")
     sweep.add_argument("--jobs", type=int, default=2,
                        help="worker processes (default: 2; 1 runs inline)")
-    sweep.add_argument("--workloads", nargs="*", default=None,
-                       help="workload names (default: all registered)")
-    sweep.add_argument("--engines", nargs="*", choices=SIMULATION_ENGINES,
-                       default=None, help="engines (default: fast pipeline)")
-    sweep.add_argument("--optimize", choices=("both", "on", "off"), default="both",
-                       help="translator optimize axis (default: both)")
-    sweep.add_argument("--params", default=None,
-                       help='JSON workload variants, e.g. \'{"gemm": [{}, {"n": 8}]}\'')
-    sweep.add_argument("--spec", default=None,
-                       help="JSON sweep spec file (overrides the grid flags)")
-    sweep.add_argument("--max-cycles", type=int, default=DEFAULT_MAX_CYCLES,
-                       help="per-job cycle budget")
+    _add_grid_arguments(sweep)
+    sweep.add_argument("--backend",
+                       choices=("auto", "serial", "multiprocessing", "queue"),
+                       default="auto",
+                       help="execution backend (default: auto — inline for "
+                            "--jobs 1, multiprocessing pool otherwise; queue "
+                            "runs a TCP coordinator with --jobs local workers)")
     sweep.add_argument("--no-resume", action="store_true",
                        help="discard existing results in --out and recompute")
     sweep.add_argument("--list", action="store_true", dest="list_jobs",
@@ -228,6 +373,56 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--compare", nargs=2, metavar=("RUN_A", "RUN_B"),
                        help="diff two run directories instead of sweeping")
     sweep.set_defaults(func=_cmd_sweep)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="coordinate a sweep over TCP for art9 work clients")
+    serve.add_argument("--out", default="sweeps/latest",
+                       help="run directory (default: sweeps/latest); rerunning "
+                            "the same directory resumes it")
+    _add_grid_arguments(serve)
+    serve.add_argument("--host", default="0.0.0.0",
+                       help="address to listen on (default: 0.0.0.0)")
+    serve.add_argument("--port", type=int, default=DEFAULT_PORT,
+                       help=f"TCP port (default: {DEFAULT_PORT}; 0 picks a free one)")
+    serve.add_argument("--local-workers", type=int, default=0,
+                       help="also spawn N worker processes on this machine "
+                            "(default: 0 — wait for external workers)")
+    serve.add_argument("--heartbeat-timeout", type=float, default=15.0,
+                       help="seconds of worker silence before a job is requeued")
+    serve.add_argument("--max-requeues", type=int, default=3,
+                       help="dispatch retries before a job is declared lost")
+    serve.add_argument("--no-resume", action="store_true",
+                       help="discard existing results in --out and recompute")
+    serve.set_defaults(func=_cmd_serve)
+
+    work_cmd = subparsers.add_parser(
+        "work", help="execute sweep jobs for a remote art9 serve coordinator")
+    work_cmd.add_argument("--connect", required=True, metavar="HOST:PORT",
+                          help="coordinator address, e.g. 192.168.1.10:7929")
+    work_cmd.add_argument("--name", default=None,
+                          help="worker name shown in coordinator stats "
+                               "(default: hostname-pid)")
+    work_cmd.add_argument("--heartbeat-interval", type=float, default=2.0,
+                          help="seconds between heartbeats while executing")
+    work_cmd.add_argument("--retry-seconds", type=float, default=10.0,
+                          help="keep retrying the connection this long "
+                               "(default: 10; lets workers start first)")
+    work_cmd.set_defaults(func=_cmd_work)
+
+    report = subparsers.add_parser(
+        "report",
+        help="regenerate the paper's Tables II-V and Fig. 5 from sweep runs")
+    report.add_argument("runs", nargs="*", metavar="RUN_DIR",
+                        help="sweep run directories to ingest")
+    report.add_argument("--db", default=":memory:",
+                        help="results database file (default: in-memory; a "
+                             "file accumulates runs across invocations)")
+    report.add_argument("--format", choices=("markdown", "csv"),
+                        default="markdown", help="output format")
+    report.add_argument("--out", default=None,
+                        help="write the report here instead of stdout")
+    report.set_defaults(func=_cmd_report)
 
     fuzz_cmd = subparsers.add_parser(
         "fuzz", help="differential-fuzz the fast engine against both simulators")

@@ -118,6 +118,25 @@ class HardwareFramework:
         """Run the FPGA emulation resource model."""
         return self.fpga_model.estimate()
 
+    def performance_from_cycles(
+        self, cycles: int, iterations: int,
+        memory_cells: Optional[int] = None,
+    ) -> Tuple[PerformanceReport, PerformanceReport]:
+        """``(CNTFET, FPGA)`` performance reports from measured cycle counts.
+
+        This is the report-subsystem entry point: sweep records already
+        carry the Dhrystone cycle count and iteration count, so the
+        Tables IV/V numbers can be regenerated from stored results without
+        re-running any simulation.
+        """
+        estimator = PerformanceEstimator(
+            DhrystoneMetrics(cycles=cycles, iterations=iterations))
+        return (
+            estimator.for_gate_level(self.analyze_gates(),
+                                     memory_cells=memory_cells),
+            estimator.for_fpga(self.analyze_fpga(), memory_cells=memory_cells),
+        )
+
     def evaluate(self, program: Program, iterations: int = 1,
                  max_cycles: int = 50_000_000) -> EvaluationResult:
         """Full flow: simulate, analyse and estimate for ``program``.

@@ -26,6 +26,12 @@ SCALAR_FIELDS = (
     "state_digest",
     "verified",
     "translated_instructions",
+    # Report inputs: a change in the memory footprint or the iteration
+    # count shifts the Fig. 5 ratios and DMIPS numbers, so the regression
+    # gate must see it even when cycle counts are untouched.
+    "iterations",
+    "memory_cells",
+    "memory_cell_ratio",
 )
 
 
@@ -79,12 +85,20 @@ class CompareReport:
         return "\n".join(lines)
 
 
-def _diff_record(record_a: dict, record_b: dict, report: CompareReport) -> None:
+def diff_records(record_a: dict, record_b: dict) -> List[JobDiff]:
+    """Architecturally meaningful field diffs between two job records.
+
+    Shared by :func:`compare_runs` and the
+    :meth:`~repro.service.resultsdb.ResultsDB.deltas` cross-run query, so
+    the regression gate and the aggregation layer agree on what counts as
+    a behaviour change.
+    """
     job_id = record_a["job_id"]
     label = record_a.get("label", job_id)
+    diffs: List[JobDiff] = []
     for name in SCALAR_FIELDS:
         if record_a.get(name) != record_b.get(name):
-            report.diffs.append(JobDiff(
+            diffs.append(JobDiff(
                 job_id=job_id, label=label, field=name,
                 value_a=record_a.get(name), value_b=record_b.get(name),
             ))
@@ -94,10 +108,28 @@ def _diff_record(record_a: dict, record_b: dict, report: CompareReport) -> None:
         if name == "cycles":
             continue  # already reported as a scalar field
         if stats_a.get(name) != stats_b.get(name):
-            report.diffs.append(JobDiff(
+            diffs.append(JobDiff(
                 job_id=job_id, label=label, field=f"stats.{name}",
                 value_a=stats_a.get(name), value_b=stats_b.get(name),
             ))
+    return diffs
+
+
+def compare_record_maps(records_a: dict, records_b: dict,
+                        run_a: str, run_b: str) -> CompareReport:
+    """Pair two ``{job_id: record}`` maps into a :class:`CompareReport`.
+
+    The single pairing implementation behind both ``sweep --compare``
+    (:func:`compare_runs`) and ``ResultsDB.deltas``, so the two surfaces
+    can never disagree about matching semantics.
+    """
+    report = CompareReport(run_a=run_a, run_b=run_b)
+    report.only_in_a = sorted(set(records_a) - set(records_b))
+    report.only_in_b = sorted(set(records_b) - set(records_a))
+    for job_id in sorted(set(records_a) & set(records_b)):
+        report.jobs_compared += 1
+        report.diffs.extend(diff_records(records_a[job_id], records_b[job_id]))
+    return report
 
 
 def compare_runs(run_a: str, run_b: str) -> CompareReport:
@@ -114,10 +146,4 @@ def compare_runs(run_a: str, run_b: str) -> CompareReport:
                              f"(no {store.spec_path})")
     records_a = {record["job_id"]: record for record in store_a.records()}
     records_b = {record["job_id"]: record for record in store_b.records()}
-    report = CompareReport(run_a=run_a, run_b=run_b)
-    report.only_in_a = sorted(set(records_a) - set(records_b))
-    report.only_in_b = sorted(set(records_b) - set(records_a))
-    for job_id in sorted(set(records_a) & set(records_b)):
-        report.jobs_compared += 1
-        _diff_record(records_a[job_id], records_b[job_id], report)
-    return report
+    return compare_record_maps(records_a, records_b, run_a, run_b)

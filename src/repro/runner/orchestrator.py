@@ -1,23 +1,33 @@
-"""Sweep orchestrator: expand the grid, shard it, stream the results.
+"""Sweep orchestrator: expand the grid, pick a backend, stream the results.
 
 ``run_sweep`` is the one entry point: it expands a :class:`SweepSpec` into
 content-addressed jobs, drops every job the run directory already holds an
-``ok`` record for (resume), then executes the remainder either inline
-(``jobs <= 1``) or across a ``multiprocessing`` pool of persistent workers
-(:mod:`repro.runner.worker` caches translated programs per process).
-Finished records are appended to the JSONL store as they arrive, so
-interrupting a sweep at any point loses at most the in-flight jobs.
+``ok`` record for (resume), then hands the remainder to an execution
+backend (:mod:`repro.service.backends`):
+
+* the default backend reproduces the historical behaviour — inline when
+  ``jobs <= 1``, a ``multiprocessing`` pool of persistent workers
+  otherwise (:mod:`repro.runner.worker` caches translated programs per
+  process);
+* any other :class:`~repro.service.backends.ExecutionBackend` — notably
+  the distributed :class:`~repro.service.queue_backend.AsyncQueueBackend`
+  — can be passed explicitly and sees exactly the same jobs.
+
+Finished records are appended to the JSONL store as they arrive no matter
+which backend runs them, so interrupting a sweep at any point loses at
+most the in-flight jobs.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
 
-from repro.runner.spec import SweepJob, SweepSpec
+from repro.runner.spec import SweepSpec
 from repro.runner.store import RunStore
-from repro.runner.worker import execute_job
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from repro.service.backends import ExecutionBackend
 
 #: Callback invoked with each finished record (CLI progress, tests).
 ProgressFn = Callable[[dict], None]
@@ -59,13 +69,15 @@ def run_sweep(
     jobs: int = 1,
     resume: bool = True,
     progress: Optional[ProgressFn] = None,
+    backend: Optional["ExecutionBackend"] = None,
 ) -> SweepOutcome:
     """Execute (or resume) the sweep described by ``spec`` into ``out_dir``.
 
-    ``jobs`` is the worker-process count; ``jobs <= 1`` runs inline in this
-    process (same code path, same caches — just no pool).  With ``resume``
-    (the default) jobs whose IDs already have successful records in
-    ``out_dir`` are skipped; ``resume=False`` wipes the store first.
+    ``backend`` selects the execution strategy; ``None`` keeps the
+    historical default (inline for ``jobs <= 1``, else a
+    ``multiprocessing`` pool of ``jobs`` workers).  With ``resume`` (the
+    default) jobs whose IDs already have successful records in ``out_dir``
+    are skipped; ``resume=False`` wipes the store first.
     """
     store = RunStore(out_dir)
     if not resume:
@@ -84,17 +96,11 @@ def run_sweep(
         if progress is not None:
             progress(record)
 
-    if len(pending) and jobs > 1:
-        # The pool never outlives the call; workers stay warm across all the
-        # jobs of this run, which is where the per-process translation cache
-        # pays off.  chunksize=1 keeps the shards balanced — job costs vary
-        # by orders of magnitude across the grid (fast vs pipeline engine).
-        with multiprocessing.Pool(processes=jobs) as pool:
-            for record in pool.imap_unordered(execute_job, pending, chunksize=1):
-                finish(record)
-    else:
-        for job in pending:
-            finish(execute_job(job))
+    if pending:
+        if backend is None:
+            from repro.service.backends import default_backend
+            backend = default_backend(jobs)
+        backend.execute(pending, finish)
 
     store.write_summary()
     return SweepOutcome(

@@ -24,6 +24,15 @@ from repro.workloads import all_workloads
 #: Default per-job cycle budget (matches ``HardwareFramework.simulate``).
 DEFAULT_MAX_CYCLES = 50_000_000
 
+#: Baseline-core values of the ``engine`` axis.  These run the *RV-32*
+#: side of a workload through the paper's baseline cycle/code-size models
+#: (:mod:`repro.baselines`) instead of simulating the translated ART-9
+#: program, so cross-ISA comparisons flow through the same jobs and store.
+BASELINE_ENGINES = ("picorv32", "vexriscv", "armv6m")
+
+#: Every legal value of the ``engine`` axis (ART-9 engines + baselines).
+ALL_ENGINES = tuple(SIMULATION_ENGINES) + BASELINE_ENGINES
+
 
 class SpecError(ValueError):
     """Raised for malformed sweep specifications."""
@@ -131,9 +140,9 @@ class SweepSpec:
             if name not in known_workloads:
                 raise SpecError(f"unknown workload {name!r}; known: {known_workloads}")
         for engine in self.engines:
-            if engine not in SIMULATION_ENGINES:
+            if engine not in ALL_ENGINES:
                 raise SpecError(
-                    f"unknown engine {engine!r}; known: {list(SIMULATION_ENGINES)}")
+                    f"unknown engine {engine!r}; known: {list(ALL_ENGINES)}")
         if not self.engines:
             raise SpecError("sweep needs at least one engine")
         if not self.optimize:
@@ -149,7 +158,13 @@ class SweepSpec:
         return self.workloads or tuple(sorted(all_workloads()))
 
     def expand(self) -> List[SweepJob]:
-        """Flatten the grid into deterministic job records."""
+        """Flatten the grid into deterministic job records.
+
+        Baseline-core engines execute the *untranslated* RV-32 side, so the
+        translator-optimize axis cannot change their results; they are
+        collapsed to a single canonical ``optimize=True`` job per variant
+        instead of being run once per optimize setting.
+        """
         self.validate()
         jobs: List[SweepJob] = []
         for workload in self.effective_workloads():
@@ -157,7 +172,9 @@ class SweepSpec:
             variants = _normalize_variants(workload, raw) if raw else [{}]
             for variant in variants:
                 for engine in self.engines:
-                    for optimize in self.optimize:
+                    optimize_axis = ((True,) if engine in BASELINE_ENGINES
+                                     else self.optimize)
+                    for optimize in optimize_axis:
                         jobs.append(SweepJob(
                             workload=workload,
                             engine=engine,
@@ -199,3 +216,41 @@ class SweepSpec:
     def from_file(cls, path: str) -> "SweepSpec":
         with open(path, "r", encoding="utf-8") as handle:
             return cls.from_dict(json.load(handle))
+
+
+#: Grown default grid variants: every workload in its paper-default size
+#: plus one larger instance, so sweeps exercise both the headline numbers
+#: and the scaling behaviour of the translator and engines.
+DEFAULT_GRID_PARAMS: Dict[str, List[Dict[str, object]]] = {
+    "gemm": [{}, {"n": 8}],
+    "sobel": [{}, {"size": 16}],
+    "dhrystone": [{}, {"iterations": 500}],
+}
+
+#: Named preset grids accepted by ``art9 sweep --preset`` / ``art9 serve``.
+SWEEP_PRESETS = ("default", "paper", "smoke")
+
+
+def preset_spec(name: str) -> SweepSpec:
+    """One of the bundled sweep grids.
+
+    * ``"default"`` — every workload (default size plus the grown
+      ``gemm n=8`` / ``sobel size=16`` / ``dhrystone iterations=500``
+      variants) on both ART-9 engines, optimize on and off;
+    * ``"paper"`` — every workload at paper-default size on *all five*
+      engines (fast, pipeline and the three baseline cores), optimize on:
+      the cross-ISA grid the report subsystem and the blessed baseline run
+      in ``benchmarks/baseline/`` are built from;
+    * ``"smoke"`` — a two-workload, eight-job grid for CI smoke tests.
+    """
+    if name == "default":
+        return SweepSpec(
+            params={key: [dict(variant) for variant in variants]
+                    for key, variants in DEFAULT_GRID_PARAMS.items()})
+    if name == "paper":
+        return SweepSpec(engines=ALL_ENGINES, optimize=(True,))
+    if name == "smoke":
+        return SweepSpec(
+            workloads=("bubble_sort", "gemm"),
+            params={"bubble_sort": [{"length": 8}], "gemm": [{"n": 2}]})
+    raise SpecError(f"unknown sweep preset {name!r}; known: {list(SWEEP_PRESETS)}")

@@ -16,14 +16,35 @@ has an ``ok`` record.
 from __future__ import annotations
 
 import json
+import logging
 import os
 from typing import Dict, List, Optional, Set
 
 from repro.runner.spec import SweepSpec
 
+logger = logging.getLogger(__name__)
+
 SPEC_FILENAME = "spec.json"
 RESULTS_FILENAME = "results.jsonl"
 SUMMARY_FILENAME = "summary.txt"
+
+#: Record fields that legitimately differ between two executions of the
+#: same job (wall clock, scheduling): excluded from run comparison and from
+#: the canonical form used by cross-backend conformance and DB dedup.
+VOLATILE_RECORD_FIELDS = ("elapsed_s", "worker_pid")
+
+
+def canonical_record(record: dict) -> str:
+    """Deterministic JSON form of a record with volatile fields stripped.
+
+    Two executions of the same job on any backend (serial, pool, or the
+    distributed queue) must canonicalise identically; the conformance suite
+    and the :class:`~repro.service.resultsdb.ResultsDB` duplicate counter
+    are both built on that invariant.
+    """
+    stable = {key: value for key, value in record.items()
+              if key not in VOLATILE_RECORD_FIELDS}
+    return json.dumps(stable, sort_keys=True, separators=(",", ":"))
 
 
 class StoreError(RuntimeError):
@@ -120,13 +141,22 @@ class RunStore:
         by_job: Dict[str, dict] = {}
         order: List[str] = []
         with open(self.results_path, "r", encoding="utf-8") as handle:
-            for line in handle:
+            for lineno, line in enumerate(handle, start=1):
                 line = line.strip()
                 if not line:
                     continue
                 try:
                     record = json.loads(line)
                 except json.JSONDecodeError:
+                    logger.warning(
+                        "skipping torn record on line %d of %s "
+                        "(partial write from an interrupted run)",
+                        lineno, self.results_path)
+                    continue
+                if not isinstance(record, dict):
+                    logger.warning(
+                        "skipping non-record JSON on line %d of %s",
+                        lineno, self.results_path)
                     continue
                 job_id = record.get("job_id")
                 if not job_id:

@@ -17,18 +17,23 @@ from __future__ import annotations
 
 import os
 import time
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
+from repro.baselines import ARMv6MCodeSizeModel, PicoRV32Model, VexRiscvModel
 from repro.framework.hwflow import HardwareFramework
-from repro.framework.swflow import SoftwareFramework
-from repro.runner.spec import SweepJob
+from repro.framework.swflow import SoftwareFramework, WorkloadKey, workload_key
+from repro.riscv.simulator import RVSimulator
+from repro.runner.spec import BASELINE_ENGINES, SweepJob
 from repro.sim.trace import state_digest
 from repro.testing import FuzzReport, GeneratorConfig
 from repro.testing import fuzz as run_fuzz
+from repro.workloads import get_workload
+from repro.workloads.base import Workload
 
 #: Per-process framework caches (populated lazily; survive across jobs).
 _SOFTWARE: Dict[bool, SoftwareFramework] = {}
 _HARDWARE: Dict[str, HardwareFramework] = {}
+_WORKLOADS: Dict[WorkloadKey, Workload] = {}
 
 
 def _software(optimize: bool) -> SoftwareFramework:
@@ -45,10 +50,20 @@ def _hardware(engine: str) -> HardwareFramework:
     return framework
 
 
+def _workload(name: str, params: Optional[dict] = None) -> Workload:
+    """Cached workload instances (the RV program is cached on the object)."""
+    key = workload_key(name, params)
+    workload = _WORKLOADS.get(key)
+    if workload is None:
+        workload = _WORKLOADS[key] = get_workload(name, **dict(params or {}))
+    return workload
+
+
 def reset_caches() -> None:
     """Drop the per-process framework caches (test isolation helper)."""
     _SOFTWARE.clear()
     _HARDWARE.clear()
+    _WORKLOADS.clear()
 
 
 def execute_job(job: SweepJob) -> dict:
@@ -70,30 +85,82 @@ def execute_job(job: SweepJob) -> dict:
         "worker_pid": os.getpid(),
     }
     try:
-        program, report, workload = _software(job.optimize).compile_named_workload(
-            job.workload, job.params_dict)
-        stats, registers, memory = _hardware(job.engine).simulate_with_state(
-            program, max_cycles=job.max_cycles, engine=job.engine)
-        actual = [
-            memory.get(workload.result_base + 4 * index, 0)
-            for index in range(workload.result_count)
-        ]
-        record.update({
-            "cycles": stats.cycles,
-            "instructions": stats.instructions_committed,
-            "cpi": round(stats.cpi, 6),
-            "stall_cycles": stats.stall_cycles,
-            "stats": stats.to_dict(),
-            "state_digest": state_digest(registers, memory),
-            "verified": actual == workload.expected_results,
-            "translated_instructions": report.final_instructions,
-            "instruction_expansion": round(report.instruction_expansion, 6),
-        })
+        if job.engine in BASELINE_ENGINES:
+            record.update(_execute_baseline(job))
+        else:
+            record.update(_execute_art9(job))
     except Exception as exc:  # pragma: no cover - exercised via error-path test
         record["status"] = "error"
         record["error"] = f"{type(exc).__name__}: {exc}"
     record["elapsed_s"] = round(time.perf_counter() - started, 6)
     return record
+
+
+def _execute_art9(job: SweepJob) -> dict:
+    """Translate and simulate one workload on an ART-9 engine."""
+    program, report, workload = _software(job.optimize).compile_named_workload(
+        job.workload, job.params_dict)
+    stats, registers, memory = _hardware(job.engine).simulate_with_state(
+        program, max_cycles=job.max_cycles, engine=job.engine)
+    actual = [
+        memory.get(workload.result_base + 4 * index, 0)
+        for index in range(workload.result_count)
+    ]
+    return {
+        "cycles": stats.cycles,
+        "instructions": stats.instructions_committed,
+        "cpi": round(stats.cpi, 6),
+        "stall_cycles": stats.stall_cycles,
+        "stats": stats.to_dict(),
+        "state_digest": state_digest(registers, memory),
+        "verified": actual == workload.expected_results,
+        "iterations": workload.iterations,
+        "translated_instructions": report.final_instructions,
+        "instruction_expansion": round(report.instruction_expansion, 6),
+        "memory_cells": report.ternary_memory_trits,
+        "memory_cell_ratio": round(report.memory_cell_ratio, 6),
+    }
+
+
+def _execute_baseline(job: SweepJob) -> dict:
+    """Run one workload's RV-32 side through a baseline-core model.
+
+    The baseline models consume the untranslated RV-32 program, so the
+    ``optimize`` axis has no effect on them beyond the job identity;
+    ``memory_cells`` holds the binary instruction-memory footprint
+    (RV-32I bits, or estimated Thumb-1 bits for ``armv6m``) that the
+    Fig. 5 comparison divides the ternary trit counts by.
+    """
+    workload = _workload(job.workload, job.params_dict)
+    rv_program = workload.rv_program()
+    if job.engine == "armv6m":
+        size = ARMv6MCodeSizeModel().estimate(rv_program)
+        return {
+            "cycles": 0,
+            "instructions": 0,
+            "cpi": 0.0,
+            "stall_cycles": 0,
+            "verified": True,
+            "iterations": workload.iterations,
+            "memory_cells": size.total_bits,
+            "thumb_instructions": size.thumb_instructions,
+            "literal_pool_words": size.literal_pool_words,
+        }
+    model = PicoRV32Model() if job.engine == "picorv32" else VexRiscvModel()
+    simulator = RVSimulator(rv_program)
+    result = model.run(rv_program, simulator=simulator,
+                       max_cycles=job.max_cycles)
+    actual = simulator.memory_words(workload.result_base, workload.result_count)
+    return {
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "cpi": round(result.cpi, 6),
+        "stall_cycles": result.detail.get("load_use_stalls", 0),
+        "verified": actual == workload.expected_results,
+        "iterations": workload.iterations,
+        "memory_cells": rv_program.instruction_memory_bits(),
+        "baseline_detail": dict(result.detail),
+    }
 
 
 def execute_fuzz_chunk(chunk: dict) -> FuzzReport:

@@ -1,0 +1,63 @@
+"""Distributed execution service and results-aggregation subsystem.
+
+``repro.service`` is the scaling layer above :mod:`repro.runner`: the sweep
+grid already expands into pure picklable :class:`~repro.runner.spec.SweepJob`
+records, and this package decides *where* those jobs run and *what happens
+to the records afterwards*:
+
+* :mod:`repro.service.backends` — the :class:`ExecutionBackend` interface
+  extracted from the sweep orchestrator, with in-process
+  (:class:`SerialBackend`) and worker-pool (:class:`MultiprocessingBackend`)
+  implementations;
+* :mod:`repro.service.protocol` — the newline-delimited JSON wire protocol
+  spoken between the coordinator and its workers;
+* :mod:`repro.service.coordinator` — the asyncio TCP coordinator behind
+  ``art9 serve``: hands jobs to pulling workers (idle workers steal the
+  remaining load), requeues jobs lost to dead connections or missed
+  heartbeats, and streams accepted records straight into the JSONL store;
+* :mod:`repro.service.workerclient` — the worker side (``art9 work``):
+  connect, pull, execute, heartbeat, report;
+* :mod:`repro.service.queue_backend` — :class:`AsyncQueueBackend`, which
+  runs a coordinator in-process and optionally spawns local worker
+  processes (CI uses a coordinator plus two local workers);
+* :mod:`repro.service.resultsdb` — :class:`ResultsDB`, a sqlite aggregation
+  of any number of sweep run directories with a query API (filter by grid
+  axes, latest-per-job dedup, cross-run deltas);
+* :mod:`repro.service.report` — ``art9 report``: the paper's Tables II–V
+  and the Fig. 5 memory-cell series regenerated from a :class:`ResultsDB`.
+"""
+
+from repro.service.backends import (
+    ExecutionBackend,
+    MultiprocessingBackend,
+    SerialBackend,
+)
+from repro.service.coordinator import (
+    Coordinator,
+    CoordinatorBindError,
+    CoordinatorStats,
+)
+from repro.service.protocol import DEFAULT_PORT
+from repro.service.queue_backend import AsyncQueueBackend
+from repro.service.report import ReportError, ReportTable, build_report, render_report
+from repro.service.resultsdb import IngestReport, ResultsDB
+from repro.service.workerclient import WorkerSummary, work
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "MultiprocessingBackend",
+    "AsyncQueueBackend",
+    "Coordinator",
+    "CoordinatorBindError",
+    "CoordinatorStats",
+    "DEFAULT_PORT",
+    "ResultsDB",
+    "IngestReport",
+    "ReportError",
+    "ReportTable",
+    "build_report",
+    "render_report",
+    "WorkerSummary",
+    "work",
+]

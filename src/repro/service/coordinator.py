@@ -1,0 +1,370 @@
+"""Asyncio TCP coordinator: hands sweep jobs to pulling workers.
+
+The coordinator owns the job queue of one sweep run.  Workers connect over
+TCP, pull a job whenever they are idle (so a fast worker naturally steals
+the load a slow one would otherwise sit on), execute it on their side and
+stream the result record back; the coordinator forwards every accepted
+record to its ``on_result`` callback — in practice the orchestrator's
+store-append — so a run killed at any point loses at most the jobs that
+were in flight.
+
+Crash tolerance is entirely the coordinator's job:
+
+* a **dropped connection** requeues whatever job that worker was holding;
+* a **missed heartbeat** (no message about the job for ``heartbeat_timeout``
+  seconds) requeues the job even though the connection still looks open —
+  the watchdog assumes the worker process wedged or died without closing
+  its socket;
+* a **late result** from a worker whose job was already requeued and
+  finished elsewhere is counted and dropped — the first accepted record
+  wins, so duplicated execution can never duplicate records;
+* a job requeued more than ``max_requeues`` times is declared **lost** and
+  completed with a synthetic ``status="error"`` record (resume retries it,
+  and one poison job cannot wedge the whole run).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import itertools
+import logging
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Optional, Sequence
+
+from repro.runner.spec import SweepJob
+from repro.service.protocol import (
+    MAX_MESSAGE_BYTES,
+    read_message,
+    send_and_drain,
+)
+
+logger = logging.getLogger(__name__)
+
+#: Default seconds without any message about a job before it is requeued.
+DEFAULT_HEARTBEAT_TIMEOUT = 15.0
+
+#: Default number of requeues before a job is declared lost.
+DEFAULT_MAX_REQUEUES = 3
+
+
+@dataclass
+class _InFlight:
+    """One job currently assigned to one worker connection."""
+
+    job: SweepJob
+    connection_id: int
+    worker: str
+    last_seen: float
+
+
+@dataclass
+class CoordinatorStats:
+    """Counters describing what one coordinator run did."""
+
+    jobs_total: int = 0
+    results_accepted: int = 0
+    duplicate_results: int = 0
+    malformed_results: int = 0
+    requeues: int = 0
+    lost_jobs: int = 0
+    workers_seen: int = 0
+    worker_names: list = field(default_factory=list)
+
+    def summary(self) -> str:
+        malformed = (f", {self.malformed_results} malformed results"
+                     if self.malformed_results else "")
+        return (
+            f"coordinator: {self.results_accepted}/{self.jobs_total} jobs from "
+            f"{self.workers_seen} workers ({self.requeues} requeued, "
+            f"{self.lost_jobs} lost, {self.duplicate_results} duplicate "
+            f"results{malformed})"
+        )
+
+
+class CoordinatorBindError(OSError):
+    """The coordinator could not listen on the requested address."""
+
+
+def lost_job_record(job: SweepJob, attempts: int, reason: str) -> dict:
+    """Synthetic error record for a job no worker managed to finish."""
+    return {
+        "job_id": job.job_id,
+        "label": job.label,
+        **job.to_dict(),
+        "status": "error",
+        "error": f"lost after {attempts} dispatch attempts ({reason})",
+    }
+
+
+class Coordinator:
+    """TCP job server for one batch of sweep jobs.
+
+    ``serve()`` runs until every job has exactly one accepted record (real
+    or synthetic-lost), then closes the listener.  The bound port is
+    available as :attr:`port` once :meth:`wait_started` returns, which is
+    what lets callers bind port 0 and spawn workers against the real port.
+    """
+
+    def __init__(
+        self,
+        jobs: Sequence[SweepJob],
+        on_result: Optional[Callable[[dict], None]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+        max_requeues: int = DEFAULT_MAX_REQUEUES,
+    ):
+        self._pending: Deque[SweepJob] = deque(jobs)
+        self._on_result = on_result
+        self._host = host
+        self._requested_port = port
+        self._heartbeat_timeout = heartbeat_timeout
+        self._max_requeues = max_requeues
+
+        self._in_flight: Dict[str, _InFlight] = {}
+        self._done: Dict[str, dict] = {}
+        self._dispatch_counts: Dict[str, int] = {}
+        self._connection_ids = itertools.count(1)
+        self._handler_tasks: set = set()
+
+        self.stats = CoordinatorStats(jobs_total=len(self._pending))
+        self.port: Optional[int] = None
+        self._started = asyncio.Event()
+        self._all_done = asyncio.Event()
+        self._fatal: Optional[BaseException] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def wait_started(self) -> Optional[int]:
+        """Block until the listener is up (or failed to bind).
+
+        Returns the bound port, or ``None`` when :meth:`serve` could not
+        listen — in that case awaiting the serve task yields the bind
+        error.
+        """
+        await self._started.wait()
+        return self.port
+
+    @property
+    def connected_workers(self) -> int:
+        """Worker connections currently open."""
+        return len(self._handler_tasks)
+
+    async def serve(self) -> CoordinatorStats:
+        """Listen, dispatch, and return once every job has a record."""
+        if not self._pending:
+            self._all_done.set()
+            self._started.set()
+            return self.stats
+        try:
+            server = await asyncio.start_server(
+                self._handle_connection, self._host, self._requested_port,
+                limit=MAX_MESSAGE_BYTES)
+        except OSError as exc:
+            # Port in use / unbindable address: unblock wait_started()
+            # (port stays None) so callers see the error instead of
+            # waiting forever.
+            self._started.set()
+            raise CoordinatorBindError(
+                f"cannot listen on {self._host}:{self._requested_port}: {exc}"
+            ) from exc
+        self.port = server.sockets[0].getsockname()[1]
+        self._started.set()
+        watchdog = asyncio.create_task(self._watchdog())
+        try:
+            await self._all_done.wait()
+        finally:
+            watchdog.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await watchdog
+            server.close()
+            # Workers that were waiting for more work may still hold open
+            # connections; cancel their handlers so shutdown is quiet.
+            for task in list(self._handler_tasks):
+                task.cancel()
+            if self._handler_tasks:
+                await asyncio.gather(*self._handler_tasks,
+                                     return_exceptions=True)
+            await server.wait_closed()
+        if self._fatal is not None:
+            # A result callback (store append, progress print) failed; the
+            # records it would have persisted are NOT in the store, so the
+            # run must fail loudly instead of reporting success.
+            raise self._fatal
+        return self.stats
+
+    # -- queue bookkeeping --------------------------------------------------
+
+    @property
+    def outstanding(self) -> int:
+        """Jobs that do not have an accepted record yet."""
+        return self.stats.jobs_total - len(self._done)
+
+    def _accept(self, record: dict) -> bool:
+        """Take one result record; returns False for duplicates."""
+        job_id = record.get("job_id")
+        if self._fatal is not None:
+            return False
+        if not isinstance(job_id, str):
+            # A record without a job identity cannot complete anything; the
+            # job it was meant for stays in flight until the watchdog
+            # requeues it, so leave a trace of what actually happened.
+            self.stats.malformed_results += 1
+            logger.warning("dropping result record without a job_id "
+                           "(keys: %s)", sorted(record))
+            return False
+        if job_id in self._done:
+            self.stats.duplicate_results += 1
+            return False
+        if self._on_result is not None:
+            try:
+                self._on_result(record)
+            except BaseException as exc:
+                # The callback persists records (store append, progress
+                # print); if it fails the record is lost, so abort the run
+                # with the real error rather than completing "OK" with
+                # results silently missing.
+                self._fatal = exc
+                self._all_done.set()
+                return False
+        self._done[job_id] = record
+        self._in_flight.pop(job_id, None)
+        if any(job.job_id == job_id for job in self._pending):
+            # The job was requeued after a timeout but the original worker
+            # finished after all; drop the queued duplicate dispatch.
+            self._pending = deque(
+                job for job in self._pending if job.job_id != job_id)
+        self.stats.results_accepted += 1
+        if self.outstanding <= 0:
+            self._all_done.set()
+        return True
+
+    def abort(self, reason: str) -> None:
+        """Complete every unfinished job as lost and stop serving.
+
+        Used by the local-worker backend when all of its worker processes
+        exited with work still outstanding — the run finishes with error
+        records (which resume retries) instead of hanging forever.
+        """
+        for job_id, entry in list(self._in_flight.items()):
+            del self._in_flight[job_id]
+            self.stats.lost_jobs += 1
+            self._accept(lost_job_record(
+                entry.job, self._dispatch_counts.get(job_id, 1), reason))
+        while self._pending:
+            job = self._pending.popleft()
+            self.stats.lost_jobs += 1
+            self._accept(lost_job_record(
+                job, self._dispatch_counts.get(job.job_id, 0), reason))
+        self._all_done.set()
+
+    def _requeue(self, entry: _InFlight, reason: str) -> None:
+        attempts = self._dispatch_counts.get(entry.job.job_id, 1)
+        if attempts > self._max_requeues:
+            self.stats.lost_jobs += 1
+            self._accept(lost_job_record(entry.job, attempts, reason))
+            return
+        self.stats.requeues += 1
+        self._pending.append(entry.job)
+
+    def _assign(self, connection_id: int, worker: str) -> dict:
+        """Next reply for an idle worker: a job, a wait, or done."""
+        if self._pending:
+            job = self._pending.popleft()
+            now = time.monotonic()
+            self._in_flight[job.job_id] = _InFlight(
+                job=job, connection_id=connection_id, worker=worker,
+                last_seen=now)
+            self._dispatch_counts[job.job_id] = \
+                self._dispatch_counts.get(job.job_id, 0) + 1
+            return {
+                "type": "job", "job_id": job.job_id, "job": job.to_dict(),
+                # Workers beat well inside the timeout no matter how the
+                # two sides were configured — a timeout shorter than the
+                # worker's default interval must not declare healthy
+                # long-running jobs dead.
+                "heartbeat_every": max(0.05, self._heartbeat_timeout / 4),
+            }
+        if self.outstanding <= 0:
+            return {"type": "done"}
+        # Jobs are in flight on other connections; poll back soon in case
+        # one of them is requeued.
+        return {"type": "wait",
+                "delay": max(0.05, min(0.5, self._heartbeat_timeout / 8))}
+
+    # -- connection handling ------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handler_tasks.add(task)
+        connection_id = next(self._connection_ids)
+        worker = f"conn-{connection_id}"
+        assigned: Optional[str] = None
+        try:
+            while True:
+                message = await read_message(reader)
+                if message is None:
+                    break
+                mtype = message.get("type")
+                if mtype == "hello":
+                    worker = str(message.get("worker") or worker)
+                    self.stats.workers_seen += 1
+                    self.stats.worker_names.append(worker)
+                    continue
+                if mtype == "heartbeat":
+                    entry = self._in_flight.get(str(message.get("job_id")))
+                    if entry is not None and entry.connection_id == connection_id:
+                        entry.last_seen = time.monotonic()
+                    continue
+                if mtype == "result":
+                    record = message.get("record")
+                    if isinstance(record, dict):
+                        self._accept(record)
+                    assigned = None
+                elif mtype != "next":
+                    continue  # unknown message types are ignored, not fatal
+                reply = self._assign(connection_id, worker)
+                if reply["type"] == "job":
+                    assigned = reply["job_id"]
+                await send_and_drain(writer, reply)
+                if reply["type"] == "done":
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass  # shutdown or a vanished worker; cleanup happens below
+        finally:
+            if task is not None:
+                self._handler_tasks.discard(task)
+            if assigned is not None:
+                entry = self._in_flight.get(assigned)
+                if entry is not None and entry.connection_id == connection_id:
+                    del self._in_flight[assigned]
+                    self._requeue(entry, f"worker {worker} disconnected")
+                    if self.outstanding <= 0:
+                        self._all_done.set()
+            writer.close()
+            with contextlib.suppress(ConnectionError, OSError):
+                await writer.wait_closed()
+
+    # -- liveness -----------------------------------------------------------
+
+    async def _watchdog(self) -> None:
+        """Requeue in-flight jobs whose workers stopped heartbeating."""
+        interval = max(0.05, self._heartbeat_timeout / 4)
+        while True:
+            await asyncio.sleep(interval)
+            now = time.monotonic()
+            for job_id, entry in list(self._in_flight.items()):
+                if now - entry.last_seen > self._heartbeat_timeout:
+                    del self._in_flight[job_id]
+                    self._requeue(
+                        entry,
+                        f"worker {entry.worker} missed heartbeats for "
+                        f"{self._heartbeat_timeout:.1f}s")
+            if self.outstanding <= 0:
+                self._all_done.set()
+                return

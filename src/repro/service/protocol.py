@@ -1,0 +1,73 @@
+"""Wire protocol between the sweep coordinator and its workers.
+
+Messages are newline-delimited JSON objects over a plain TCP stream — one
+object per line, UTF-8, no framing beyond the newline.  The vocabulary is
+deliberately tiny:
+
+worker → coordinator
+    ``{"type": "hello", "worker": <name>, "pid": <int>}``
+        sent once after connecting, names the worker for logs and stats;
+    ``{"type": "next"}``
+        the worker is idle and wants a job (the pull is what makes the
+        dispatch work-stealing: fast workers come back sooner and drain
+        the shared queue);
+    ``{"type": "result", "record": {...}}``
+        a finished job record; doubles as a request for the next job;
+    ``{"type": "heartbeat", "job_id": <id>}``
+        liveness while executing a job (sent from a side task so a long
+        simulation does not look like a dead worker).
+
+coordinator → worker
+    ``{"type": "job", "job_id": <id>, "job": {...}}``
+        one :class:`~repro.runner.spec.SweepJob` as pure data;
+    ``{"type": "wait", "delay": <seconds>}``
+        nothing to hand out right now but the run is not finished (jobs
+        are in flight elsewhere and may yet be requeued);
+    ``{"type": "done"}``
+        every job has an accepted result — disconnect and exit.
+
+A malformed line or a closed connection reads as ``None``, which both ends
+treat as a disconnect; the coordinator requeues whatever the lost worker
+was holding, so the protocol needs no explicit error vocabulary.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional
+
+#: Default TCP port of ``art9 serve`` (any free port when 0).
+DEFAULT_PORT = 7929
+
+#: Per-line read limit: a record is a few KB, so this is generous headroom.
+MAX_MESSAGE_BYTES = 8 * 1024 * 1024
+
+
+async def read_message(reader: asyncio.StreamReader) -> Optional[dict]:
+    """Read one message; ``None`` means disconnect (EOF or a garbled line)."""
+    try:
+        line = await reader.readline()
+    except (ConnectionError, asyncio.IncompleteReadError, ValueError):
+        return None
+    if not line:
+        return None
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(message, dict):
+        return None
+    return message
+
+
+def send_message(writer: asyncio.StreamWriter, message: dict) -> None:
+    """Queue one message on ``writer`` (callers drain when they need order)."""
+    payload = json.dumps(message, sort_keys=True, separators=(",", ":"))
+    writer.write(payload.encode("utf-8") + b"\n")
+
+
+async def send_and_drain(writer: asyncio.StreamWriter, message: dict) -> None:
+    """Send one message and wait for the transport buffer to flush."""
+    send_message(writer, message)
+    await writer.drain()

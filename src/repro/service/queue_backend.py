@@ -1,0 +1,149 @@
+"""The distributed execution backend: a coordinator plus worker clients.
+
+:class:`AsyncQueueBackend` runs a :class:`~repro.service.coordinator.
+Coordinator` in the calling process and executes jobs on worker clients
+connected over TCP.  Two deployment shapes share the one implementation:
+
+* ``workers=N`` (N >= 1) spawns N local worker processes against the
+  coordinator's ephemeral port — a single-machine distributed run, which is
+  what the CI regression job and the backend conformance suite use;
+* ``workers=0`` binds the requested host/port and waits for external
+  ``art9 work --connect host:port`` clients — the multi-machine shape
+  behind ``art9 serve``.
+
+Worker processes are started with the ``spawn`` method: each one is a fresh
+interpreter that imports :mod:`repro` on its own, exactly like a remote
+worker on another machine would, so the local convenience mode cannot hide
+fork-only behaviour.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import multiprocessing
+from typing import Callable, List, Optional, Sequence
+
+from repro.runner.spec import SweepJob
+from repro.service.backends import EmitFn, ExecutionBackend
+from repro.service.coordinator import (
+    DEFAULT_HEARTBEAT_TIMEOUT,
+    DEFAULT_MAX_REQUEUES,
+    Coordinator,
+    CoordinatorStats,
+)
+from repro.service.workerclient import (
+    DEFAULT_HEARTBEAT_INTERVAL,
+    run_worker_process,
+)
+
+#: Callback announcing the bound (host, port) once the coordinator listens.
+StartedFn = Callable[[str, int], None]
+
+
+class AsyncQueueBackend(ExecutionBackend):
+    """Execute jobs through the asyncio TCP coordinator."""
+
+    name = "queue"
+
+    def __init__(
+        self,
+        workers: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        max_requeues: int = DEFAULT_MAX_REQUEUES,
+        on_started: Optional[StartedFn] = None,
+    ):
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.workers = workers
+        self.host = host
+        self.port = port
+        self.heartbeat_timeout = heartbeat_timeout
+        self.heartbeat_interval = heartbeat_interval
+        self.max_requeues = max_requeues
+        self.on_started = on_started
+        #: Stats of the most recent run (None before the first execute()).
+        self.stats: Optional[CoordinatorStats] = None
+
+    def describe(self) -> str:
+        if self.workers:
+            return f"{self.name} (coordinator + {self.workers} local workers)"
+        return f"{self.name} (coordinator on {self.host}:{self.port}, external workers)"
+
+    def execute(self, jobs: Sequence[SweepJob], emit: EmitFn) -> None:
+        if not jobs:
+            return
+        asyncio.run(self._run(list(jobs), emit))
+
+    async def _run(self, jobs: List[SweepJob], emit: EmitFn) -> None:
+        coordinator = Coordinator(
+            jobs,
+            on_result=emit,
+            host=self.host,
+            port=self.port,
+            heartbeat_timeout=self.heartbeat_timeout,
+            max_requeues=self.max_requeues,
+        )
+        serve_task = asyncio.create_task(coordinator.serve())
+        await coordinator.wait_started()
+        if coordinator.port is None:
+            await serve_task  # propagates the bind error (port in use, ...)
+            return
+        if self.on_started is not None:
+            self.on_started(self.host, coordinator.port)
+        processes = self._spawn_workers(coordinator.port)
+        monitor = (asyncio.create_task(self._monitor(processes, coordinator))
+                   if processes else None)
+        try:
+            await serve_task
+        finally:
+            if monitor is not None:
+                monitor.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await monitor
+            for process in processes:
+                process.join(timeout=10)
+                if process.is_alive():  # pragma: no cover - cleanup backstop
+                    process.terminate()
+                    process.join(timeout=5)
+        self.stats = coordinator.stats
+
+    @staticmethod
+    async def _monitor(processes: List, coordinator: Coordinator) -> None:
+        """Abort the run instead of hanging if every worker is gone.
+
+        External workers may coexist with the spawned local ones (``art9
+        serve --local-workers N``), so dead local processes only abort the
+        run when no worker connection is open either.
+        """
+        while True:
+            await asyncio.sleep(0.5)
+            if coordinator.outstanding <= 0:
+                return
+            if (all(not process.is_alive() for process in processes)
+                    and coordinator.connected_workers == 0):
+                coordinator.abort("all local worker processes exited and "
+                                  "no external workers are connected")
+                return
+
+    def _spawn_workers(self, port: Optional[int]) -> List:
+        if not self.workers or port is None:
+            return []
+        # A wildcard bind is not a connectable address; local workers dial
+        # loopback in that case.
+        connect_host = "127.0.0.1" if self.host in ("0.0.0.0", "::") else self.host
+        context = multiprocessing.get_context("spawn")
+        processes = []
+        for _ in range(self.workers):
+            process = context.Process(
+                target=run_worker_process,
+                args=(connect_host, port),
+                kwargs={"heartbeat_interval": self.heartbeat_interval},
+                daemon=True,
+            )
+            process.start()
+            processes.append(process)
+        return processes

@@ -1,0 +1,356 @@
+"""Paper-facing report generation from aggregated sweep results.
+
+``art9 report`` turns a :class:`~repro.service.resultsdb.ResultsDB` into
+the evaluation artifacts of the paper:
+
+* **Table II** — the Dhrystone comparison of ART-9 against VexRiscv and
+  PicoRV32 (DMIPS/MHz, cycles, CPI, instruction-memory cells);
+* **Table III** — processing cycles of every benchmark across the cores;
+* **Table IV** — the CNTFET gate-level implementation (gates, fmax,
+  power, DMIPS, DMIPS/W), combining stored Dhrystone cycle counts with
+  the deterministic gate-level analyzer;
+* **Table V** — the FPGA emulation (ALMs, registers, RAM bits, power,
+  DMIPS/W) at its 150 MHz operating point;
+* **Fig. 5** — instruction-memory cells per benchmark (ART-9 trits vs
+  RV-32I bits vs ARMv6-M bits) and the ternary/binary ratio.
+
+Simulation results come exclusively from the database — the cycle counts,
+iteration counts and memory-cell footprints were measured by sweep jobs,
+possibly on other machines — while the implementation models (gate-level
+analyzer, FPGA resource model) are deterministic functions of the netlist
+and are evaluated at report time through
+:meth:`repro.framework.hwflow.HardwareFramework.performance_from_cycles`.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.framework.hwflow import HardwareFramework
+from repro.hweval.estimator import DhrystoneMetrics
+from repro.service.resultsdb import ResultsDB
+
+#: ART-9 engines in lookup-preference order (identical numbers, so the
+#: fast engine is simply the one more likely to be present in a sweep).
+_ART9_ENGINES = ("fast", "pipeline")
+
+
+class ReportError(RuntimeError):
+    """Raised when the database lacks the records a table needs."""
+
+
+@dataclass
+class ReportTable:
+    """One rendered table plus its machine-checkable headline numbers."""
+
+    key: str
+    title: str
+    headers: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    #: Headline quantities by name (what the acceptance tests assert on).
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.rows)
+
+    def to_markdown(self) -> str:
+        lines = [f"## {self.title}", ""]
+        if self.rows:
+            lines.append("| " + " | ".join(self.headers) + " |")
+            lines.append("| " + " | ".join("---" for _ in self.headers) + " |")
+            for row in self.rows:
+                lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+        for note in self.notes:
+            lines.append("")
+            lines.append(f"*{note}*")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(self.headers)
+        for row in self.rows:
+            writer.writerow(row)
+        return f"# {self.title}\n" + buffer.getvalue()
+
+
+# -- record lookup ----------------------------------------------------------
+
+
+def _ok_records(db: ResultsDB, **filters) -> List[dict]:
+    return [record for record in db.query(status="ok", latest_only=True, **filters)
+            if record.get("verified")]
+
+
+def _art9_record(db: ResultsDB, workload: str,
+                 params: Optional[dict] = None) -> Optional[dict]:
+    for engine in _ART9_ENGINES:
+        records = _ok_records(db, workload=workload, engine=engine,
+                              optimize=True, params=params or {})
+        if records:
+            return records[0]
+    return None
+
+
+def _baseline_record(db: ResultsDB, workload: str, engine: str) -> Optional[dict]:
+    records = _ok_records(db, workload=workload, engine=engine, params={})
+    return records[0] if records else None
+
+
+def _require(record: Optional[dict], what: str) -> dict:
+    if record is None:
+        raise ReportError(
+            f"no verified record for {what} in the results database; "
+            "run a sweep that covers it (e.g. `art9 sweep --preset paper`)")
+    return record
+
+
+def _iterations(record: dict) -> int:
+    """The benchmark iteration count a record measured.
+
+    Records written before the report fields existed lack it; silently
+    assuming 1 would shift every DMIPS number by the iteration factor, so
+    stale records are an error (same policy as the Fig. 5 builder).
+    """
+    iterations = record.get("iterations")
+    if not iterations:
+        raise ReportError(
+            f"the {record.get('label', record.get('job_id'))} record predates "
+            "the iteration-count field; rerun the sweep with --no-resume to "
+            "refresh it")
+    return int(iterations)
+
+
+def _dmips_per_mhz(record: dict) -> float:
+    return DhrystoneMetrics(cycles=record["cycles"],
+                            iterations=_iterations(record)).dmips_per_mhz
+
+
+def _default_workloads(db: ResultsDB) -> List[str]:
+    """Workloads with a default-parameter ART-9 record, sorted."""
+    present = []
+    seen = set()
+    for record in _ok_records(db, params={}):
+        name = record.get("workload")
+        if name and name not in seen and record.get("engine") in _ART9_ENGINES:
+            seen.add(name)
+            present.append(name)
+    return sorted(present)
+
+
+# -- table builders ---------------------------------------------------------
+
+
+def table2_dhrystone(db: ResultsDB) -> ReportTable:
+    """Table II — Dhrystone comparison of the three cores."""
+    art9 = _require(_art9_record(db, "dhrystone"), "dhrystone on an ART-9 engine")
+    vex = _require(_baseline_record(db, "dhrystone", "vexriscv"),
+                   "dhrystone on the vexriscv baseline")
+    pico = _require(_baseline_record(db, "dhrystone", "picorv32"),
+                    "dhrystone on the picorv32 baseline")
+    table = ReportTable(
+        key="table2",
+        title="Table II — Dhrystone simulation results",
+        headers=["core", "cycles", "CPI", "DMIPS/MHz", "memory cells"],
+    )
+    for slug, label, record, unit in (
+        ("art9", "ART-9 (this work)", art9, "trits"),
+        ("vexriscv", "VexRiscv", vex, "bits"),
+        ("picorv32", "PicoRV32", pico, "bits"),
+    ):
+        dmips = _dmips_per_mhz(record)
+        table.rows.append([
+            label, record["cycles"], f"{record['cpi']:.3f}", f"{dmips:.3f}",
+            f"{record.get('memory_cells', 0)} {unit}",
+        ])
+        table.metrics[f"{slug}_dmips_per_mhz"] = dmips
+    table.metrics["art9_cycles"] = float(art9["cycles"])
+    table.metrics["art9_cpi"] = float(art9["cpi"])
+    return table
+
+
+def table3_cycles(db: ResultsDB) -> ReportTable:
+    """Table III — processing cycles of every benchmark across the cores."""
+    table = ReportTable(
+        key="table3",
+        title="Table III — processing cycles per benchmark",
+        headers=["workload", "ART-9 cycles", "PicoRV32 cycles", "VexRiscv cycles"],
+    )
+    workloads = _default_workloads(db)
+    if not workloads:
+        raise ReportError("no verified default-parameter ART-9 records in the "
+                          "results database")
+    for name in workloads:
+        art9 = _require(_art9_record(db, name), f"{name} on an ART-9 engine")
+        pico = _baseline_record(db, name, "picorv32")
+        vex = _baseline_record(db, name, "vexriscv")
+        table.rows.append([
+            name, art9["cycles"],
+            pico["cycles"] if pico else "-",
+            vex["cycles"] if vex else "-",
+        ])
+        table.metrics[f"{name}_art9_cycles"] = float(art9["cycles"])
+        if pico:
+            table.metrics[f"{name}_picorv32_cycles"] = float(pico["cycles"])
+        if vex:
+            table.metrics[f"{name}_vexriscv_cycles"] = float(vex["cycles"])
+    return table
+
+
+def _dhrystone_performance(db: ResultsDB, hardware: HardwareFramework):
+    art9 = _require(_art9_record(db, "dhrystone"), "dhrystone on an ART-9 engine")
+    cntfet, fpga = hardware.performance_from_cycles(
+        art9["cycles"], _iterations(art9),
+        memory_cells=art9.get("memory_cells"))
+    return art9, cntfet, fpga
+
+
+def table4_cntfet(db: ResultsDB, hardware: HardwareFramework) -> ReportTable:
+    """Table IV — CNTFET ternary-gate implementation."""
+    _, cntfet, _ = _dhrystone_performance(db, hardware)
+    gate_report = hardware.analyze_gates()
+    table = ReportTable(
+        key="table4",
+        title="Table IV — CNTFET ternary-gate implementation",
+        headers=["metric", "value"],
+        rows=[
+            ["technology", gate_report.technology],
+            ["supply voltage (V)", gate_report.supply_voltage],
+            ["total ternary gates", gate_report.total_gates],
+            ["max frequency (MHz)", f"{gate_report.max_frequency_mhz:.1f}"],
+            ["power at fmax (uW)", f"{gate_report.total_power_uw:.2f}"],
+            ["DMIPS", f"{cntfet.dmips:.1f}"],
+            ["DMIPS/MHz", f"{cntfet.dmips_per_mhz:.3f}"],
+            ["DMIPS/W", f"{cntfet.dmips_per_watt:.3e}"],
+        ],
+        metrics={
+            "total_gates": float(gate_report.total_gates),
+            "max_frequency_mhz": gate_report.max_frequency_mhz,
+            "total_power_uw": gate_report.total_power_uw,
+            "dmips": cntfet.dmips,
+            "dmips_per_mhz": cntfet.dmips_per_mhz,
+            "dmips_per_watt": cntfet.dmips_per_watt,
+        },
+    )
+    return table
+
+
+def table5_fpga(db: ResultsDB, hardware: HardwareFramework) -> ReportTable:
+    """Table V — FPGA-based ternary-logic emulation."""
+    _, _, fpga = _dhrystone_performance(db, hardware)
+    fpga_report = hardware.analyze_fpga()
+    table = ReportTable(
+        key="table5",
+        title="Table V — FPGA-based ternary-logic emulation",
+        headers=["metric", "value"],
+        rows=[
+            ["device", fpga_report.device],
+            ["ALMs", fpga_report.alms],
+            ["registers", fpga_report.registers],
+            ["RAM bits", fpga_report.ram_bits],
+            ["frequency (MHz)", f"{fpga_report.frequency_mhz:.1f}"],
+            ["power (W)", f"{fpga_report.total_power_w:.3f}"],
+            ["DMIPS", f"{fpga.dmips:.1f}"],
+            ["DMIPS/W", f"{fpga.dmips_per_watt:.1f}"],
+        ],
+        metrics={
+            "alms": float(fpga_report.alms),
+            "registers": float(fpga_report.registers),
+            "ram_bits": float(fpga_report.ram_bits),
+            "frequency_mhz": fpga_report.frequency_mhz,
+            "total_power_w": fpga_report.total_power_w,
+            "dmips": fpga.dmips,
+            "dmips_per_watt": fpga.dmips_per_watt,
+        },
+    )
+    return table
+
+
+def fig5_memory_cells(db: ResultsDB) -> ReportTable:
+    """Fig. 5 — instruction-memory cells per benchmark program."""
+    table = ReportTable(
+        key="fig5",
+        title="Fig. 5 — instruction-memory cells per benchmark",
+        headers=["workload", "ART-9 (trits)", "RV-32I (bits)", "ARMv6-M (bits)",
+                 "trits/bits ratio"],
+    )
+    workloads = _default_workloads(db)
+    if not workloads:
+        raise ReportError("no verified default-parameter ART-9 records in the "
+                          "results database")
+    for name in workloads:
+        art9 = _require(_art9_record(db, name), f"{name} on an ART-9 engine")
+        trits = art9.get("memory_cells")
+        ratio = art9.get("memory_cell_ratio")
+        if trits is None or not ratio:
+            raise ReportError(
+                f"the {name} record predates the memory-cell fields; rerun "
+                "the sweep with --no-resume to refresh it")
+        rv_record = (_baseline_record(db, name, "picorv32")
+                     or _baseline_record(db, name, "vexriscv"))
+        # The translation report embeds trits/bits, so the binary footprint
+        # is recoverable even without a baseline record in the database.
+        rv_bits = (rv_record["memory_cells"] if rv_record
+                   else round(trits / ratio))
+        thumb = _baseline_record(db, name, "armv6m")
+        table.rows.append([
+            name, trits, rv_bits,
+            thumb["memory_cells"] if thumb else "-",
+            f"{trits / rv_bits:.3f}",
+        ])
+        table.metrics[f"{name}_ratio"] = trits / rv_bits
+        if thumb:
+            table.metrics[f"{name}_armv6m_bits"] = float(thumb["memory_cells"])
+    return table
+
+
+# -- report assembly --------------------------------------------------------
+
+
+def build_report(db: ResultsDB, hardware: Optional[HardwareFramework] = None,
+                 strict: bool = False) -> List[ReportTable]:
+    """All five artifacts from one database.
+
+    With ``strict`` the first table whose records are missing raises
+    :class:`ReportError`; otherwise the failed table is emitted empty with
+    the explanation as a note, so partial databases still render.
+    """
+    hardware = hardware or HardwareFramework()
+    builders = (
+        ("table2", "Table II — Dhrystone simulation results",
+         lambda: table2_dhrystone(db)),
+        ("table3", "Table III — processing cycles per benchmark",
+         lambda: table3_cycles(db)),
+        ("table4", "Table IV — CNTFET ternary-gate implementation",
+         lambda: table4_cntfet(db, hardware)),
+        ("table5", "Table V — FPGA-based ternary-logic emulation",
+         lambda: table5_fpga(db, hardware)),
+        ("fig5", "Fig. 5 — instruction-memory cells per benchmark",
+         lambda: fig5_memory_cells(db)),
+    )
+    tables = []
+    for key, title, builder in builders:
+        try:
+            tables.append(builder())
+        except ReportError as exc:
+            if strict:
+                raise
+            tables.append(ReportTable(key=key, title=title, headers=[],
+                                      notes=[str(exc)]))
+    return tables
+
+
+def render_report(tables: Sequence[ReportTable], fmt: str = "markdown") -> str:
+    """Render the tables as one markdown or CSV document."""
+    if fmt == "markdown":
+        parts = ["# ART-9 evaluation report", ""]
+        parts.extend(table.to_markdown() + "\n" for table in tables)
+        return "\n".join(parts).rstrip() + "\n"
+    if fmt == "csv":
+        return "\n".join(table.to_csv() for table in tables)
+    raise ValueError(f"unknown report format {fmt!r}; known: markdown, csv")

@@ -1,0 +1,265 @@
+"""Results aggregation: many sweep run directories, one queryable sqlite DB.
+
+A sweep run leaves a ``results.jsonl`` directory behind; this module turns
+any number of those into one database so performance can be tracked across
+runs, machines and time:
+
+* :meth:`ResultsDB.ingest` loads a run directory (spec + records).  One
+  row per ``(run, job_id)`` — re-ingesting the same directory replaces its
+  rows, and records whose canonical content (volatile wall-clock/PID
+  fields stripped) already exists for the same content-addressed job ID in
+  a previously ingested run are counted as duplicates, which is how "the
+  same code produced the same numbers" shows up in the aggregate.
+* :meth:`ResultsDB.query` filters on the grid axes (workload, engine,
+  optimize, params), on status, and optionally collapses to the latest
+  record per job ID across all ingested runs (``latest_only``).
+* :meth:`ResultsDB.deltas` diffs two ingested runs with exactly the same
+  field semantics as ``art9 sweep --compare``
+  (:func:`repro.runner.compare.diff_records`).
+
+The database is a cache over the JSONL artifacts, never the other way
+around: dropping it and re-ingesting is always safe.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import sqlite3
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from repro.runner.compare import CompareReport, compare_record_maps
+from repro.runner.store import RunStore, StoreError, canonical_record
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    run_id       INTEGER PRIMARY KEY AUTOINCREMENT,
+    root         TEXT NOT NULL UNIQUE,
+    spec_json    TEXT NOT NULL,
+    ingested_at  TEXT NOT NULL,
+    record_count INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS results (
+    run_id      INTEGER NOT NULL REFERENCES runs(run_id) ON DELETE CASCADE,
+    job_id      TEXT NOT NULL,
+    workload    TEXT NOT NULL,
+    engine      TEXT NOT NULL,
+    optimize    INTEGER NOT NULL,
+    params_json TEXT NOT NULL,
+    status      TEXT NOT NULL,
+    verified    INTEGER NOT NULL,
+    cycles      INTEGER,
+    cpi         REAL,
+    canonical   TEXT NOT NULL,
+    record_json TEXT NOT NULL,
+    PRIMARY KEY (run_id, job_id)
+);
+CREATE INDEX IF NOT EXISTS idx_results_job  ON results(job_id, run_id);
+CREATE INDEX IF NOT EXISTS idx_results_axes ON results(workload, engine, optimize);
+"""
+
+
+def _params_json(params: Optional[Mapping[str, object]]) -> str:
+    return json.dumps(dict(params or {}), sort_keys=True, separators=(",", ":"))
+
+
+@dataclass
+class IngestReport:
+    """What one :meth:`ResultsDB.ingest` call did."""
+
+    root: str
+    run_id: int
+    records: int
+    duplicates: int
+    replaced: bool
+
+    def summary(self) -> str:
+        mode = "re-ingested" if self.replaced else "ingested"
+        return (
+            f"{mode} {self.root}: {self.records} records "
+            f"({self.duplicates} duplicating earlier runs)"
+        )
+
+
+class ResultsDB:
+    """Sqlite aggregation of sweep run directories."""
+
+    def __init__(self, path: str = ":memory:"):
+        self.path = path
+        if path != ":memory:":
+            parent = os.path.dirname(os.path.abspath(path))
+            os.makedirs(parent, exist_ok=True)
+        self._conn = sqlite3.connect(path)
+        self._conn.row_factory = sqlite3.Row
+        self._conn.executescript(_SCHEMA)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ResultsDB":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- ingest -------------------------------------------------------------
+
+    def ingest(self, run_dir: str) -> IngestReport:
+        """Load (or reload) one sweep run directory into the database."""
+        store = RunStore(run_dir)
+        if not store.exists():
+            raise StoreError(
+                f"{run_dir!r} is not a sweep run directory (no {store.spec_path})")
+        root = os.path.abspath(run_dir)
+        spec_json = json.dumps(store.load_spec().to_dict(), sort_keys=True,
+                               separators=(",", ":"))
+        records = store.records()
+
+        cursor = self._conn.cursor()
+        existing = cursor.execute(
+            "SELECT run_id FROM runs WHERE root = ?", (root,)).fetchone()
+        replaced = existing is not None
+        if replaced:
+            cursor.execute("DELETE FROM results WHERE run_id = ?",
+                           (existing["run_id"],))
+            cursor.execute("DELETE FROM runs WHERE run_id = ?",
+                           (existing["run_id"],))
+
+        cursor.execute(
+            "INSERT INTO runs (root, spec_json, ingested_at, record_count) "
+            "VALUES (?, ?, ?, ?)",
+            (root, spec_json,
+             datetime.datetime.now(datetime.timezone.utc).isoformat(),
+             len(records)))
+        run_id = cursor.lastrowid
+
+        duplicates = 0
+        for record in records:
+            canonical = canonical_record(record)
+            duplicate = cursor.execute(
+                "SELECT 1 FROM results WHERE job_id = ? AND canonical = ? "
+                "AND run_id != ? LIMIT 1",
+                (record["job_id"], canonical, run_id)).fetchone()
+            if duplicate is not None:
+                duplicates += 1
+            cursor.execute(
+                "INSERT INTO results (run_id, job_id, workload, engine, "
+                "optimize, params_json, status, verified, cycles, cpi, "
+                "canonical, record_json) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (run_id,
+                 record["job_id"],
+                 str(record.get("workload", "")),
+                 str(record.get("engine", "")),
+                 1 if record.get("optimize") else 0,
+                 _params_json(record.get("params")),
+                 str(record.get("status", "")),
+                 1 if record.get("verified") else 0,
+                 record.get("cycles"),
+                 record.get("cpi"),
+                 canonical,
+                 json.dumps(record, sort_keys=True, separators=(",", ":"))))
+        self._conn.commit()
+        return IngestReport(root=root, run_id=run_id, records=len(records),
+                            duplicates=duplicates, replaced=replaced)
+
+    # -- queries ------------------------------------------------------------
+
+    def runs(self) -> List[dict]:
+        """Ingested runs, oldest first."""
+        rows = self._conn.execute(
+            "SELECT run_id, root, ingested_at, record_count FROM runs "
+            "ORDER BY run_id").fetchall()
+        return [dict(row) for row in rows]
+
+    def query(
+        self,
+        workload: Optional[str] = None,
+        engine: Optional[str] = None,
+        optimize: Optional[bool] = None,
+        params: Optional[Mapping[str, object]] = None,
+        status: Optional[str] = None,
+        run_root: Optional[str] = None,
+        latest_only: bool = False,
+    ) -> List[dict]:
+        """Records matching the given grid-axis filters.
+
+        ``params`` matches the exact parameter dict of the job (``{}``
+        selects default-parameter instances).  ``latest_only`` keeps, for
+        every content-addressed job ID, only the record from the most
+        recently ingested run — the deduplicated "current state of the
+        grid" view.
+        """
+        clauses, values = [], []
+        if workload is not None:
+            clauses.append("workload = ?")
+            values.append(workload)
+        if engine is not None:
+            clauses.append("engine = ?")
+            values.append(engine)
+        if optimize is not None:
+            clauses.append("optimize = ?")
+            values.append(1 if optimize else 0)
+        if params is not None:
+            clauses.append("params_json = ?")
+            values.append(_params_json(params))
+        if status is not None:
+            clauses.append("status = ?")
+            values.append(status)
+        if run_root is not None:
+            clauses.append("run_id = ?")
+            values.append(self._run_id(run_root))
+        if latest_only:
+            clauses.append(
+                "run_id = (SELECT MAX(r2.run_id) FROM results r2 "
+                "WHERE r2.job_id = results.job_id)")
+        where = (" WHERE " + " AND ".join(clauses)) if clauses else ""
+        rows = self._conn.execute(
+            "SELECT record_json FROM results" + where +
+            " ORDER BY workload, params_json, engine, optimize DESC, run_id",
+            values).fetchall()
+        return [json.loads(row["record_json"]) for row in rows]
+
+    def latest(self, job_id: str) -> Optional[dict]:
+        """Newest-ingested record of one job ID, or ``None``."""
+        row = self._conn.execute(
+            "SELECT record_json FROM results WHERE job_id = ? "
+            "ORDER BY run_id DESC LIMIT 1", (job_id,)).fetchone()
+        return json.loads(row["record_json"]) if row else None
+
+    def job_history(self, job_id: str) -> List[dict]:
+        """Every ingested record of one job ID, oldest run first."""
+        rows = self._conn.execute(
+            "SELECT record_json FROM results WHERE job_id = ? ORDER BY run_id",
+            (job_id,)).fetchall()
+        return [json.loads(row["record_json"]) for row in rows]
+
+    # -- cross-run deltas ---------------------------------------------------
+
+    def _run_id(self, root: str) -> int:
+        """The run row for ``root``; an unknown root is an error, not an
+        empty result (a typo'd path must not read as 'zero records')."""
+        run = self._conn.execute(
+            "SELECT run_id FROM runs WHERE root = ?",
+            (os.path.abspath(root),)).fetchone()
+        if run is None:
+            known = [row["root"] for row in self.runs()]
+            raise StoreError(
+                f"run {root!r} has not been ingested; ingested runs: {known}")
+        return run["run_id"]
+
+    def _run_records(self, root: str) -> Dict[str, dict]:
+        rows = self._conn.execute(
+            "SELECT record_json FROM results WHERE run_id = ?",
+            (self._run_id(root),)).fetchall()
+        records = [json.loads(row["record_json"]) for row in rows]
+        return {record["job_id"]: record for record in records}
+
+    def deltas(self, root_a: str, root_b: str) -> CompareReport:
+        """Diff two ingested runs (same semantics as ``sweep --compare``)."""
+        return compare_record_maps(
+            self._run_records(root_a), self._run_records(root_b),
+            os.path.abspath(root_a), os.path.abspath(root_b))

@@ -1,0 +1,164 @@
+"""Worker side of the distributed sweep service (``art9 work``).
+
+A worker is a loop: connect, say hello, pull a job, execute it, stream the
+record back (which doubles as the pull for the next job), repeat until the
+coordinator says ``done``.  Execution happens in a thread-pool executor so
+the asyncio side stays responsive; while a job runs, a side task sends
+``heartbeat`` messages so the coordinator can tell a long simulation from a
+dead worker.
+
+The job executor is the exact same :func:`repro.runner.worker.execute_job`
+the in-process backends use — including its per-process translation caches
+— so a worker that receives both the fast-engine and pipeline jobs of a
+workload still assembles and translates it only once, and a distributed
+run produces records identical (modulo wall-clock and PIDs) to a serial
+one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+import socket
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.runner.spec import SweepJob
+from repro.runner.worker import execute_job
+from repro.service.protocol import (
+    MAX_MESSAGE_BYTES,
+    read_message,
+    send_and_drain,
+)
+
+#: Default seconds between heartbeats while a job is executing.
+DEFAULT_HEARTBEAT_INTERVAL = 2.0
+
+#: Seconds to wait for a coordinator reply before giving the connection up.
+#: The protocol is request-reply from the worker's side — every read
+#: follows a write and the coordinator answers immediately — so a long
+#: silence means the coordinator host died without closing the socket
+#: (power loss, network partition); without this cap the worker would
+#: block in readline() forever.
+DEFAULT_REPLY_TIMEOUT = 60.0
+
+
+@dataclass
+class WorkerSummary:
+    """What one worker session did."""
+
+    worker: str
+    jobs_completed: int = 0
+
+    def summary(self) -> str:
+        return f"worker {self.worker}: {self.jobs_completed} jobs completed"
+
+
+def default_worker_name() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+async def _heartbeat_loop(writer: asyncio.StreamWriter, job_id: str,
+                          interval: float) -> None:
+    while True:
+        await asyncio.sleep(interval)
+        await send_and_drain(writer, {"type": "heartbeat", "job_id": job_id})
+
+
+async def _connect(host: str, port: int, retry_seconds: float):
+    """Open the coordinator connection, retrying while it boots."""
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + retry_seconds
+    while True:
+        try:
+            return await asyncio.open_connection(host, port,
+                                                 limit=MAX_MESSAGE_BYTES)
+        except OSError:
+            if loop.time() >= deadline:
+                raise
+            await asyncio.sleep(0.25)
+
+
+async def work_async(
+    host: str,
+    port: int,
+    name: Optional[str] = None,
+    heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+    executor: Callable[[SweepJob], dict] = execute_job,
+    retry_seconds: float = 0.0,
+    reply_timeout: float = DEFAULT_REPLY_TIMEOUT,
+) -> WorkerSummary:
+    """Serve one coordinator until it reports the run complete.
+
+    ``executor`` is injectable for tests (fault-injection workers execute a
+    stub instead of a real simulation); production callers leave it alone.
+    A coordinator that stays silent for ``reply_timeout`` seconds after a
+    request is treated as dead and the worker exits instead of hanging.
+    """
+    name = name or default_worker_name()
+    summary = WorkerSummary(worker=name)
+    reader, writer = await _connect(host, port, retry_seconds)
+    loop = asyncio.get_running_loop()
+    try:
+        await send_and_drain(writer, {"type": "hello", "worker": name,
+                                      "pid": os.getpid()})
+        await send_and_drain(writer, {"type": "next"})
+        while True:
+            try:
+                message = await asyncio.wait_for(read_message(reader),
+                                                 timeout=reply_timeout)
+            except asyncio.TimeoutError:
+                break  # coordinator vanished without closing the socket
+            if message is None or message.get("type") == "done":
+                break
+            if message.get("type") == "wait":
+                await asyncio.sleep(float(message.get("delay", 0.2)))
+                await send_and_drain(writer, {"type": "next"})
+                continue
+            if message.get("type") != "job":
+                await send_and_drain(writer, {"type": "next"})
+                continue
+            job = SweepJob.from_dict(message["job"])
+            # The coordinator names the cadence its timeout needs; beat at
+            # whichever is faster so configuration mismatches cannot make
+            # a healthy job look dead.
+            interval = min(heartbeat_interval,
+                           float(message.get("heartbeat_every",
+                                             heartbeat_interval)))
+            heartbeat = asyncio.create_task(
+                _heartbeat_loop(writer, job.job_id, interval))
+            try:
+                record = await loop.run_in_executor(None, executor, job)
+            finally:
+                heartbeat.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await heartbeat
+            summary.jobs_completed += 1
+            await send_and_drain(writer, {"type": "result", "record": record})
+    except ConnectionError:
+        pass  # the coordinator shut down; whatever we held gets requeued
+    finally:
+        writer.close()
+        with contextlib.suppress(ConnectionError, OSError):
+            await writer.wait_closed()
+    return summary
+
+
+def work(host: str, port: int, name: Optional[str] = None,
+         heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+         retry_seconds: float = 0.0,
+         reply_timeout: float = DEFAULT_REPLY_TIMEOUT) -> WorkerSummary:
+    """Synchronous front end of :func:`work_async` (the ``art9 work`` body)."""
+    return asyncio.run(work_async(host, port, name=name,
+                                  heartbeat_interval=heartbeat_interval,
+                                  retry_seconds=retry_seconds,
+                                  reply_timeout=reply_timeout))
+
+
+def run_worker_process(host: str, port: int,
+                       heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+                       retry_seconds: float = 30.0) -> None:
+    """Entry point for locally spawned worker processes (picklable)."""
+    work(host, port, heartbeat_interval=heartbeat_interval,
+         retry_seconds=retry_seconds)

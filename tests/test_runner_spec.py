@@ -1,11 +1,19 @@
 """Unit tests for sweep specifications, job identities and the result store."""
 
 import json
+import logging
 import os
 
 import pytest
 
-from repro.runner import RunStore, SpecError, StoreError, SweepJob, SweepSpec
+from repro.runner import (
+    RunStore,
+    SpecError,
+    StoreError,
+    SweepJob,
+    SweepSpec,
+    canonical_record,
+)
 from repro.runner.spec import DEFAULT_MAX_CYCLES
 
 
@@ -135,6 +143,59 @@ class TestRunStore:
             handle.write('{"job_id": "bbb", "status": "o')  # killed mid-write
         assert store.completed_ids() == {"aaa"}
 
+    def test_torn_line_skip_is_warned_about(self, tmp_path, caplog):
+        store = RunStore(str(tmp_path / "run"))
+        store.initialize(SweepSpec(workloads=("gemm",)))
+        store.append(self._record("aaa"))
+        with open(store.results_path, "a", encoding="utf-8") as handle:
+            handle.write('{"job_id": "bbb", "cycles": 12')  # no closing brace
+        with caplog.at_level(logging.WARNING, logger="repro.runner.store"):
+            records = store.records()
+        assert [r["job_id"] for r in records] == ["aaa"]
+        assert any("torn record on line 2" in message
+                   for message in caplog.messages)
+
+    def test_mid_file_corruption_is_warned_and_skipped(self, tmp_path, caplog):
+        store = RunStore(str(tmp_path / "run"))
+        store.initialize(SweepSpec(workloads=("gemm",)))
+        store.append(self._record("aaa"))
+        with open(store.results_path, "a", encoding="utf-8") as handle:
+            handle.write("garbage not json\n")
+        store.append(self._record("ccc"))
+        with caplog.at_level(logging.WARNING, logger="repro.runner.store"):
+            records = store.records()
+        assert [r["job_id"] for r in records] == ["aaa", "ccc"]
+        assert any("line 2" in message for message in caplog.messages)
+
+    def test_non_dict_json_line_is_warned_and_skipped(self, tmp_path, caplog):
+        store = RunStore(str(tmp_path / "run"))
+        store.initialize(SweepSpec(workloads=("gemm",)))
+        with open(store.results_path, "w", encoding="utf-8") as handle:
+            handle.write("12345\n")  # valid JSON, but not a record
+        with caplog.at_level(logging.WARNING, logger="repro.runner.store"):
+            assert store.records() == []
+        assert any("non-record JSON" in message for message in caplog.messages)
+
+    def test_resume_survives_a_torn_final_line(self, tmp_path):
+        """The satellite's end-to-end claim: a run killed mid-write resumes
+        instead of crashing, recomputing only the torn job."""
+        from repro.runner import run_sweep
+        spec = SweepSpec(workloads=("bubble_sort",), engines=("fast",),
+                         optimize=(True, False),
+                         params={"bubble_sort": [{"length": 8}]})
+        out = str(tmp_path / "run")
+        run_sweep(spec, out, jobs=1)
+        store = RunStore(out)
+        with open(store.results_path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        with open(store.results_path, "w", encoding="utf-8") as handle:
+            handle.write(lines[0])
+            handle.write(lines[1][:25])  # the kill tore the final record
+        resumed = run_sweep(spec, out, jobs=1)
+        assert resumed.skipped == 1
+        assert resumed.executed == 1
+        assert len(RunStore(out).records()) == 2
+
     def test_resuming_with_a_different_spec_is_refused(self, tmp_path):
         store = RunStore(str(tmp_path / "run"))
         store.initialize(SweepSpec(workloads=("gemm",)))
@@ -162,3 +223,22 @@ class TestRunStore:
         ])
         assert "gemm" in table and "1.250" in table
         assert "ERROR: KeyError: 'x'" in table
+
+
+class TestCanonicalRecord:
+    def test_volatile_fields_are_stripped(self):
+        record = {"job_id": "aaa", "cycles": 7, "elapsed_s": 0.123,
+                  "worker_pid": 4242}
+        other = {"job_id": "aaa", "cycles": 7, "elapsed_s": 9.876,
+                 "worker_pid": 1}
+        assert canonical_record(record) == canonical_record(other)
+        assert "4242" not in canonical_record(record)
+
+    def test_meaningful_fields_still_differ(self):
+        a = {"job_id": "aaa", "cycles": 7}
+        b = {"job_id": "aaa", "cycles": 8}
+        assert canonical_record(a) != canonical_record(b)
+
+    def test_key_order_does_not_matter(self):
+        assert canonical_record({"a": 1, "b": 2}) == \
+            canonical_record({"b": 2, "a": 1})

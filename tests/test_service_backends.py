@@ -1,0 +1,289 @@
+"""Backend conformance suite plus baseline-engine and preset coverage.
+
+The central invariant of the execution-backend abstraction: the *same*
+spec produces the *same* result set on every backend — serial, the
+multiprocessing pool, and the distributed TCP queue — modulo the volatile
+wall-clock/PID fields.  Everything the regression gates compare (cycles,
+CPI, stats counters, state digests, verification) must be byte-identical.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.runner import (
+    ALL_ENGINES,
+    BASELINE_ENGINES,
+    RunStore,
+    SpecError,
+    SweepJob,
+    SweepSpec,
+    canonical_record,
+    compare_runs,
+    execute_job,
+    preset_spec,
+    run_sweep,
+)
+from repro.service import (
+    AsyncQueueBackend,
+    MultiprocessingBackend,
+    SerialBackend,
+)
+
+#: A cheap cross-ISA grid: one workload, ART-9 fast engine plus all three
+#: baseline cores = 4 jobs.
+CONFORMANCE_SPEC = SweepSpec(
+    workloads=("bubble_sort",),
+    engines=("fast", "picorv32", "vexriscv", "armv6m"),
+    optimize=(True,),
+    params={"bubble_sort": [{"length": 8}]},
+)
+
+
+def _canonical_set(records):
+    return sorted(canonical_record(record) for record in records)
+
+
+class TestBackendConformance:
+    @pytest.fixture(scope="class")
+    def runs(self, tmp_path_factory):
+        """The same spec executed once per backend."""
+        root = tmp_path_factory.mktemp("conformance")
+        backends = {
+            "serial": SerialBackend(),
+            "pool": MultiprocessingBackend(processes=2),
+            "queue": AsyncQueueBackend(workers=2),
+        }
+        outcomes = {}
+        for name, backend in backends.items():
+            out = str(root / name)
+            outcomes[name] = (out, run_sweep(CONFORMANCE_SPEC, out,
+                                             backend=backend), backend)
+        return outcomes
+
+    def test_every_backend_completes_the_grid(self, runs):
+        for name, (_, outcome, _) in runs.items():
+            assert outcome.ok, f"{name} backend failed: {outcome.summary()}"
+            assert outcome.executed == 4
+
+    def test_result_sets_are_identical_across_backends(self, runs):
+        reference = _canonical_set(runs["serial"][1].records)
+        for name, (_, outcome, _) in runs.items():
+            assert _canonical_set(outcome.records) == reference, \
+                f"{name} backend diverged from serial"
+
+    def test_compare_runs_reports_zero_diffs(self, runs):
+        serial_dir = runs["serial"][0]
+        for name, (out, _, _) in runs.items():
+            report = compare_runs(serial_dir, out)
+            assert report.ok, f"{name}: {report.summary()}"
+
+    def test_queue_backend_used_two_workers(self, runs):
+        _, _, backend = runs["queue"]
+        assert backend.stats is not None
+        assert backend.stats.workers_seen == 2
+        assert backend.stats.results_accepted == 4
+        assert backend.stats.lost_jobs == 0
+
+    def test_resume_works_after_queue_run(self, runs):
+        out, _, _ = runs["queue"]
+        again = run_sweep(CONFORMANCE_SPEC, out, backend=SerialBackend())
+        assert again.executed == 0
+        assert again.skipped == 4
+
+
+class TestBackendArguments:
+    def test_multiprocessing_rejects_zero_processes(self):
+        with pytest.raises(ValueError):
+            MultiprocessingBackend(processes=0)
+
+    def test_queue_rejects_negative_workers(self):
+        with pytest.raises(ValueError):
+            AsyncQueueBackend(workers=-1)
+
+    def test_describe_mentions_the_shape(self):
+        assert "2" in MultiprocessingBackend(processes=2).describe()
+        assert "local workers" in AsyncQueueBackend(workers=2).describe()
+        assert "external" in AsyncQueueBackend(workers=0).describe()
+
+    def test_empty_job_list_is_a_no_op(self):
+        for backend in (SerialBackend(), MultiprocessingBackend(2),
+                        AsyncQueueBackend(workers=2)):
+            emitted = []
+            backend.execute([], emitted.append)
+            assert emitted == []
+
+    def test_occupied_port_errors_instead_of_hanging(self):
+        import socket
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        try:
+            backend = AsyncQueueBackend(workers=1,
+                                        port=blocker.getsockname()[1])
+            jobs = CONFORMANCE_SPEC.expand()[:1]
+            with pytest.raises(OSError):
+                backend.execute(jobs, lambda record: None)
+        finally:
+            blocker.close()
+
+
+class TestBaselineEngineJobs:
+    def test_engine_axis_includes_the_baseline_cores(self):
+        assert set(BASELINE_ENGINES) == {"picorv32", "vexriscv", "armv6m"}
+        assert set(BASELINE_ENGINES) < set(ALL_ENGINES)
+        assert {"fast", "pipeline"} < set(ALL_ENGINES)
+
+    def test_picorv32_record(self):
+        record = execute_job(SweepJob("bubble_sort", "picorv32", True,
+                                      params=(("length", 8),)))
+        assert record["status"] == "ok"
+        assert record["verified"] is True
+        assert record["cycles"] > 0
+        assert record["cpi"] > 1.0  # non-pipelined core
+        assert record["memory_cells"] > 0  # RV-32I instruction bits
+        assert record["iterations"] == 1
+
+    def test_vexriscv_beats_picorv32_on_cycles(self):
+        pico = execute_job(SweepJob("bubble_sort", "picorv32", True,
+                                    params=(("length", 8),)))
+        vex = execute_job(SweepJob("bubble_sort", "vexriscv", True,
+                                   params=(("length", 8),)))
+        assert vex["verified"] and pico["verified"]
+        assert vex["cycles"] < pico["cycles"]
+        # Both execute the same RV program, hence the same footprint.
+        assert vex["memory_cells"] == pico["memory_cells"]
+
+    def test_armv6m_is_a_code_size_point(self):
+        record = execute_job(SweepJob("bubble_sort", "armv6m", True,
+                                      params=(("length", 8),)))
+        assert record["status"] == "ok"
+        assert record["cycles"] == 0  # nothing executes
+        assert record["verified"] is True
+        assert record["thumb_instructions"] > 0
+        assert record["memory_cells"] > 0  # estimated Thumb bits
+
+    def test_cycle_budget_means_cycles_on_baseline_engines_too(self):
+        record = execute_job(SweepJob("bubble_sort", "picorv32", True,
+                                      params=(("length", 8),), max_cycles=50))
+        assert record["status"] == "error"
+        assert "cycle budget exhausted" in record["error"]
+
+    def test_art9_records_carry_the_report_fields(self):
+        record = execute_job(SweepJob("bubble_sort", "fast", True,
+                                      params=(("length", 8),)))
+        assert record["iterations"] == 1
+        assert record["memory_cells"] > 0  # ternary trits
+        assert 0 < record["memory_cell_ratio"] < 2
+
+    def test_baseline_engines_collapse_the_optimize_axis(self):
+        spec = SweepSpec(workloads=("bubble_sort",),
+                         engines=("fast", "picorv32"),
+                         optimize=(True, False),
+                         params={"bubble_sort": [{"length": 8}]})
+        jobs = spec.expand()
+        # fast runs once per optimize setting; the baseline ignores the
+        # translator entirely and runs exactly once.
+        assert len(jobs) == 3
+        baseline_jobs = [job for job in jobs if job.engine == "picorv32"]
+        assert len(baseline_jobs) == 1
+        assert baseline_jobs[0].optimize is True
+
+    def test_baseline_engines_flow_through_a_sweep(self, tmp_path):
+        spec = SweepSpec(workloads=("bubble_sort",),
+                         engines=("picorv32", "armv6m"), optimize=(True,),
+                         params={"bubble_sort": [{"length": 8}]})
+        outcome = run_sweep(spec, str(tmp_path / "run"))
+        assert outcome.ok
+        engines = {record["engine"] for record in outcome.records}
+        assert engines == {"picorv32", "armv6m"}
+
+
+class TestPresets:
+    def test_default_preset_grows_the_grid(self):
+        spec = preset_spec("default")
+        jobs = spec.expand()
+        # 7 workload variants x 2 engines x 2 optimize settings.
+        assert len(jobs) == 28
+        labels = {job.label for job in jobs}
+        assert "gemm[n=8]/fast/opt" in labels
+        assert "sobel[size=16]/fast/opt" in labels
+        assert "dhrystone[iterations=500]/fast/opt" in labels
+
+    def test_paper_preset_covers_all_engines(self):
+        spec = preset_spec("paper")
+        jobs = spec.expand()
+        # 4 workloads x 5 engines x optimize-on.
+        assert len(jobs) == 20
+        assert {job.engine for job in jobs} == set(ALL_ENGINES)
+        assert all(job.optimize for job in jobs)
+
+    def test_smoke_preset_matches_the_ci_grid(self):
+        assert len(preset_spec("smoke").expand()) == 8
+
+    def test_unknown_preset_is_an_error(self):
+        with pytest.raises(SpecError):
+            preset_spec("warp")
+
+    def test_grown_variants_execute_and_verify(self):
+        """The satellite sizes really run: gemm n=8 / sobel size=16 /
+        dhrystone iterations=500 on the fast engine, results verified."""
+        for workload, params in (("gemm", (("n", 8),)),
+                                 ("sobel", (("size", 16),)),
+                                 ("dhrystone", (("iterations", 500),))):
+            record = execute_job(SweepJob(workload, "fast", True, params=params))
+            assert record["status"] == "ok", record.get("error")
+            assert record["verified"] is True, workload
+
+
+class TestSweepCLIBackends:
+    BASE = ["sweep", "--workloads", "bubble_sort", "--engines", "fast",
+            "--optimize", "on", "--params", '{"bubble_sort": [{"length": 8}]}']
+
+    def test_backend_serial_flag(self, tmp_path, capsys):
+        out = str(tmp_path / "serial")
+        assert main(self.BASE + ["--backend", "serial", "--out", out]) == 0
+        assert len(RunStore(out).records()) == 1
+
+    def test_backend_multiprocessing_jobs_zero_runs_inline(self, tmp_path, capsys):
+        out = str(tmp_path / "mp0")
+        assert main(self.BASE + ["--backend", "multiprocessing",
+                                 "--jobs", "0", "--out", out]) == 0
+        assert len(RunStore(out).records()) == 1
+
+    def test_backend_queue_flag(self, tmp_path, capsys):
+        out = str(tmp_path / "queue")
+        assert main(self.BASE + ["--backend", "queue", "--jobs", "2",
+                                 "--out", out]) == 0
+        records = RunStore(out).records()
+        assert len(records) == 1 and records[0]["verified"]
+
+    def test_preset_flag_lists_grown_grid(self, capsys):
+        assert main(["sweep", "--preset", "default", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "gemm[n=8]" in out and "dhrystone[iterations=500]" in out
+
+    def test_preset_conflicting_with_grid_flags_is_refused(self, capsys):
+        assert main(["sweep", "--preset", "paper", "--workloads", "gemm",
+                     "--list"]) == 2
+        assert "replaces the grid flags" in capsys.readouterr().err
+        assert main(["sweep", "--preset", "paper", "--max-cycles", "1000",
+                     "--list"]) == 2
+        assert "replaces the grid flags" in capsys.readouterr().err
+        assert main(["sweep", "--preset", "paper", "--optimize", "on",
+                     "--list"]) == 2
+        capsys.readouterr()
+
+    def test_spec_conflicting_with_preset_is_refused(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text('{"workloads": ["gemm"]}')
+        assert main(["sweep", "--spec", str(spec_path), "--preset", "paper",
+                     "--list"]) == 2
+        assert "drop one side" in capsys.readouterr().err
+
+    def test_baseline_engines_accepted_on_the_cli(self, tmp_path, capsys):
+        out = str(tmp_path / "baseline")
+        assert main(["sweep", "--workloads", "bubble_sort",
+                     "--engines", "vexriscv", "--optimize", "on",
+                     "--params", '{"bubble_sort": [{"length": 8}]}',
+                     "--jobs", "1", "--out", out]) == 0
+        assert RunStore(out).records()[0]["engine"] == "vexriscv"

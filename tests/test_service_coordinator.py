@@ -1,0 +1,387 @@
+"""Fault-injection tests for the distributed sweep coordinator.
+
+Everything runs inside one asyncio event loop with real TCP connections on
+loopback, but with an injected stub executor so no simulation cost hides
+the protocol behaviour.  The faults injected are the ones the coordinator
+promises to survive: workers that vanish mid-job, workers that wedge
+without closing their socket (heartbeat loss), poison jobs that kill every
+worker they touch, and results arriving after the job was already
+completed elsewhere.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.runner.spec import SweepJob
+from repro.service.coordinator import Coordinator, lost_job_record
+from repro.service.protocol import read_message, send_and_drain
+from repro.service.workerclient import work_async
+
+
+def _jobs(count):
+    """Distinct, content-addressed jobs (never executed for real here)."""
+    return [
+        SweepJob("bubble_sort", "fast", True, params=(("length", 4 + 2 * i),))
+        for i in range(count)
+    ]
+
+
+def _stub_executor(job):
+    return {"job_id": job.job_id, "label": job.label, "status": "ok",
+            "verified": True, "cycles": 1}
+
+
+async def _raw_client(host, port):
+    reader, writer = await asyncio.open_connection(host, port)
+    await send_and_drain(writer, {"type": "hello", "worker": "faulty", "pid": 0})
+    return reader, writer
+
+
+async def _take_job(reader, writer):
+    await send_and_drain(writer, {"type": "next"})
+    message = await read_message(reader)
+    assert message["type"] == "job"
+    return message
+
+
+class TestHappyPath:
+    def test_two_workers_drain_the_queue(self):
+        records = []
+        coordinator = Coordinator(_jobs(6), on_result=records.append)
+
+        async def scenario():
+            serve = asyncio.create_task(coordinator.serve())
+            port = await coordinator.wait_started()
+            await asyncio.gather(
+                work_async("127.0.0.1", port, name="w1", executor=_stub_executor),
+                work_async("127.0.0.1", port, name="w2", executor=_stub_executor),
+                serve,
+            )
+
+        asyncio.run(scenario())
+        assert len(records) == 6
+        assert len({record["job_id"] for record in records}) == 6
+        assert coordinator.stats.workers_seen == 2
+        assert coordinator.stats.results_accepted == 6
+        assert coordinator.stats.lost_jobs == 0
+        assert sorted(coordinator.stats.worker_names) == ["w1", "w2"]
+
+    def test_empty_job_list_finishes_without_listening(self):
+        coordinator = Coordinator([])
+        stats = asyncio.run(coordinator.serve())
+        assert stats.results_accepted == 0
+        assert coordinator.outstanding == 0
+
+    def test_worker_waits_while_last_job_is_in_flight(self):
+        """A second worker polls through ``wait`` replies, then gets done."""
+        records = []
+        coordinator = Coordinator(_jobs(1), on_result=records.append,
+                                  heartbeat_timeout=5.0)
+        wait_seen = []
+
+        async def slow_executor_client(port):
+            def slow(job):
+                # Keep the job in flight long enough for the other worker
+                # to ask for work and be told to wait (runs in the executor
+                # thread, so the blocking sleep is fine).
+                import time
+                time.sleep(0.3)
+                return _stub_executor(job)
+            await work_async("127.0.0.1", port, name="slow", executor=slow)
+
+        async def observing_client(port):
+            reader, writer = await _raw_client("127.0.0.1", port)
+            await send_and_drain(writer, {"type": "next"})
+            while True:
+                message = await read_message(reader)
+                if message is None or message["type"] == "done":
+                    break
+                assert message["type"] == "wait"
+                wait_seen.append(message)
+                await asyncio.sleep(message["delay"])
+                await send_and_drain(writer, {"type": "next"})
+            writer.close()
+
+        async def scenario():
+            serve = asyncio.create_task(coordinator.serve())
+            port = await coordinator.wait_started()
+            slow = asyncio.create_task(slow_executor_client(port))
+            await asyncio.sleep(0.1)  # let the slow worker take the job
+            await asyncio.gather(observing_client(port), slow, serve)
+
+        asyncio.run(scenario())
+        assert len(records) == 1
+        assert wait_seen, "the idle worker should have been told to wait"
+
+
+class TestFaultInjection:
+    def test_disconnect_mid_job_requeues_to_another_worker(self):
+        records = []
+        coordinator = Coordinator(_jobs(3), on_result=records.append)
+
+        async def faulty_then_good(port):
+            reader, writer = await _raw_client("127.0.0.1", port)
+            await _take_job(reader, writer)
+            writer.close()  # dies mid-job without a result
+            await writer.wait_closed()
+            await work_async("127.0.0.1", port, name="good",
+                             executor=_stub_executor)
+
+        async def scenario():
+            serve = asyncio.create_task(coordinator.serve())
+            port = await coordinator.wait_started()
+            await asyncio.gather(faulty_then_good(port), serve)
+
+        asyncio.run(scenario())
+        assert coordinator.stats.requeues == 1
+        assert len(records) == 3
+        assert all(record["status"] == "ok" for record in records)
+
+    def test_missed_heartbeats_requeue_while_connection_stays_open(self):
+        records = []
+        coordinator = Coordinator(_jobs(2), on_result=records.append,
+                                  heartbeat_timeout=0.25)
+
+        async def wedged_client(port):
+            """Takes a job, then goes silent without closing the socket."""
+            reader, writer = await _raw_client("127.0.0.1", port)
+            await _take_job(reader, writer)
+            try:
+                await asyncio.sleep(30)  # cancelled when the test finishes
+            finally:
+                writer.close()
+
+        async def scenario():
+            serve = asyncio.create_task(coordinator.serve())
+            port = await coordinator.wait_started()
+            wedged = asyncio.create_task(wedged_client(port))
+            await asyncio.sleep(0.05)  # wedged worker grabs the first job
+            await work_async("127.0.0.1", port, name="good",
+                             executor=_stub_executor)
+            await serve
+            wedged.cancel()
+
+        asyncio.run(scenario())
+        assert coordinator.stats.requeues >= 1
+        assert len(records) == 2
+        assert all(record["status"] == "ok" for record in records)
+
+    def test_late_result_after_requeue_still_counts_once(self):
+        """The wedged worker recovers and reports before anyone else: its
+        record is accepted and the requeued duplicate dispatch is dropped."""
+        records = []
+        coordinator = Coordinator(_jobs(1), on_result=records.append,
+                                  heartbeat_timeout=0.2)
+
+        async def recovering_client(port):
+            reader, writer = await _raw_client("127.0.0.1", port)
+            message = await _take_job(reader, writer)
+            await asyncio.sleep(0.5)  # long enough for the watchdog to fire
+            record = {"job_id": message["job_id"], "status": "ok",
+                      "verified": True, "cycles": 1}
+            await send_and_drain(writer, {"type": "result", "record": record})
+            reply = await read_message(reader)
+            assert reply["type"] == "done"
+            writer.close()
+
+        async def scenario():
+            serve = asyncio.create_task(coordinator.serve())
+            port = await coordinator.wait_started()
+            await asyncio.gather(recovering_client(port), serve)
+
+        asyncio.run(scenario())
+        assert coordinator.stats.requeues == 1      # the watchdog did fire
+        assert coordinator.stats.results_accepted == 1
+        assert len(records) == 1                    # but nothing ran twice
+
+    def test_duplicate_results_are_dropped(self):
+        records = []
+        job = _jobs(1)[0]
+        coordinator = Coordinator([job], on_result=records.append)
+        record = _stub_executor(job)
+        assert coordinator._accept(dict(record)) is True
+        assert coordinator._accept(dict(record)) is False
+        assert len(records) == 1
+        assert coordinator.stats.duplicate_results == 1
+
+    def test_malformed_results_are_counted_separately(self):
+        records = []
+        coordinator = Coordinator(_jobs(1), on_result=records.append)
+        assert coordinator._accept({"cycles": 5}) is False  # no job_id
+        assert records == []
+        assert coordinator.stats.malformed_results == 1
+        assert coordinator.stats.duplicate_results == 0
+        assert "malformed" in coordinator.stats.summary()
+
+    def test_poison_job_is_declared_lost(self):
+        records = []
+        coordinator = Coordinator(_jobs(1), on_result=records.append,
+                                  max_requeues=1)
+
+        async def crash_on_job(port):
+            reader, writer = await _raw_client("127.0.0.1", port)
+            await _take_job(reader, writer)
+            writer.close()
+            await writer.wait_closed()
+
+        async def scenario():
+            serve = asyncio.create_task(coordinator.serve())
+            port = await coordinator.wait_started()
+            # Two dispatch attempts, both "crash" the worker.
+            await crash_on_job(port)
+            await crash_on_job(port)
+            await serve
+
+        asyncio.run(scenario())
+        assert coordinator.stats.lost_jobs == 1
+        assert len(records) == 1
+        assert records[0]["status"] == "error"
+        assert "lost after" in records[0]["error"]
+
+    def test_abort_completes_everything_as_lost(self):
+        records = []
+        coordinator = Coordinator(_jobs(3), on_result=records.append)
+
+        async def scenario():
+            serve = asyncio.create_task(coordinator.serve())
+            await coordinator.wait_started()
+            coordinator.abort("test abort")
+            await serve
+
+        asyncio.run(scenario())
+        assert len(records) == 3
+        assert all(record["status"] == "error" for record in records)
+        assert coordinator.stats.lost_jobs == 3
+
+
+class TestEmitFailure:
+    def test_failing_result_callback_aborts_the_run_loudly(self):
+        """A record the callback could not persist must fail the serve call,
+        not vanish from an 'OK' run."""
+        def exploding_sink(record):
+            raise BrokenPipeError("stdout went away")
+
+        coordinator = Coordinator(_jobs(2), on_result=exploding_sink)
+
+        async def scenario():
+            import contextlib
+            serve = asyncio.create_task(coordinator.serve())
+            port = await coordinator.wait_started()
+            worker = asyncio.create_task(
+                work_async("127.0.0.1", port, executor=_stub_executor))
+            with pytest.raises(BrokenPipeError):
+                await serve
+            # The worker may have exited on its own when the server
+            # closed, or still be polling; either way, wind it down.
+            worker.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await worker
+
+        asyncio.run(scenario())
+        # The record was never marked done, so nothing claims success.
+        assert coordinator.stats.results_accepted == 0
+
+
+class TestHeartbeatHandshake:
+    def test_job_message_names_the_required_cadence(self):
+        coordinator = Coordinator(_jobs(1), heartbeat_timeout=2.0)
+        reply = coordinator._assign(1, "w")
+        assert reply["type"] == "job"
+        assert reply["heartbeat_every"] == pytest.approx(0.5)
+
+    def test_short_timeout_does_not_kill_a_healthy_slow_job(self):
+        """Coordinator timeout far below the worker's default interval: the
+        handshake makes the worker beat fast enough anyway."""
+        records = []
+        coordinator = Coordinator(_jobs(1), on_result=records.append,
+                                  heartbeat_timeout=0.4)
+
+        def slow(job):
+            import time
+            time.sleep(1.2)  # three timeouts long
+            return _stub_executor(job)
+
+        async def scenario():
+            serve = asyncio.create_task(coordinator.serve())
+            port = await coordinator.wait_started()
+            # Default heartbeat_interval is 2.0s — without the handshake
+            # this healthy worker would be declared dead.
+            await asyncio.gather(
+                work_async("127.0.0.1", port, executor=slow), serve)
+
+        asyncio.run(scenario())
+        assert coordinator.stats.requeues == 0
+        assert coordinator.stats.lost_jobs == 0
+        assert len(records) == 1 and records[0]["status"] == "ok"
+
+
+class TestWorkerMonitor:
+    def test_dead_local_workers_do_not_abort_while_external_worker_connected(self):
+        """`serve --local-workers N` + external workers: losing every local
+        process must not kill jobs an external connection is executing."""
+        from repro.service.queue_backend import AsyncQueueBackend
+
+        class DeadProcess:
+            @staticmethod
+            def is_alive():
+                return False
+
+        records = []
+        coordinator = Coordinator(_jobs(1), on_result=records.append)
+
+        async def external_worker(port):
+            reader, writer = await _raw_client("127.0.0.1", port)
+            message = await _take_job(reader, writer)
+            await asyncio.sleep(1.2)  # spans two monitor intervals
+            record = {"job_id": message["job_id"], "status": "ok",
+                      "verified": True, "cycles": 1}
+            await send_and_drain(writer, {"type": "result", "record": record})
+            assert (await read_message(reader))["type"] == "done"
+            writer.close()
+
+        async def scenario():
+            serve = asyncio.create_task(coordinator.serve())
+            port = await coordinator.wait_started()
+            monitor = asyncio.create_task(
+                AsyncQueueBackend._monitor([DeadProcess()], coordinator))
+            await asyncio.gather(external_worker(port), serve, monitor)
+
+        asyncio.run(scenario())
+        assert coordinator.stats.lost_jobs == 0
+        assert len(records) == 1 and records[0]["status"] == "ok"
+
+
+class TestBindFailure:
+    def test_occupied_port_raises_instead_of_hanging(self):
+        """A bind failure must unblock wait_started and surface the error."""
+        import socket
+
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        coordinator = Coordinator(_jobs(1), port=port)
+
+        async def scenario():
+            serve = asyncio.create_task(coordinator.serve())
+            assert await coordinator.wait_started() is None
+            with pytest.raises(OSError):
+                await serve
+
+        try:
+            asyncio.run(scenario())
+        finally:
+            blocker.close()
+
+
+class TestLostRecord:
+    def test_lost_record_is_resume_compatible(self):
+        job = _jobs(1)[0]
+        record = lost_job_record(job, 3, "worker vanished")
+        assert record["job_id"] == job.job_id
+        assert record["status"] == "error"
+        assert record["workload"] == job.workload
+        assert record["engine"] == job.engine
+        # An error status means a resumed sweep retries the job.
+        assert "lost after 3" in record["error"]

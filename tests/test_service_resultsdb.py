@@ -1,0 +1,150 @@
+"""Unit tests for the sqlite results-aggregation layer."""
+
+import os
+
+import pytest
+
+from repro.runner import RunStore, StoreError, SweepSpec, run_sweep
+from repro.service import ResultsDB
+
+SPEC = SweepSpec(workloads=("bubble_sort",), engines=("fast",),
+                 optimize=(True, False),
+                 params={"bubble_sort": [{"length": 8}]})
+
+
+@pytest.fixture()
+def two_identical_runs(tmp_path):
+    a, b = str(tmp_path / "a"), str(tmp_path / "b")
+    run_sweep(SPEC, a, jobs=1)
+    run_sweep(SPEC, b, jobs=1)
+    return a, b
+
+
+class TestIngest:
+    def test_ingest_reports_and_lists_runs(self, two_identical_runs):
+        a, b = two_identical_runs
+        with ResultsDB() as db:
+            first = db.ingest(a)
+            assert first.records == 2
+            assert first.duplicates == 0
+            assert not first.replaced
+            runs = db.runs()
+            assert len(runs) == 1
+            assert runs[0]["root"] == os.path.abspath(a)
+            assert runs[0]["record_count"] == 2
+
+    def test_identical_content_counts_as_duplicates(self, two_identical_runs):
+        a, b = two_identical_runs
+        with ResultsDB() as db:
+            db.ingest(a)
+            second = db.ingest(b)
+            # Same code, same spec: every record duplicates run A's content
+            # even though wall-clock and PIDs differ.
+            assert second.duplicates == second.records == 2
+
+    def test_reingest_replaces_not_duplicates(self, two_identical_runs):
+        a, _ = two_identical_runs
+        with ResultsDB() as db:
+            db.ingest(a)
+            again = db.ingest(a)
+            assert again.replaced
+            assert len(db.runs()) == 1
+            assert len(db.query()) == 2
+
+    def test_non_run_directory_is_an_error(self, tmp_path):
+        with ResultsDB() as db:
+            with pytest.raises(StoreError):
+                db.ingest(str(tmp_path / "not-a-run"))
+
+    def test_file_backed_db_persists(self, two_identical_runs, tmp_path):
+        a, _ = two_identical_runs
+        path = str(tmp_path / "results.sqlite")
+        with ResultsDB(path) as db:
+            db.ingest(a)
+        with ResultsDB(path) as db:
+            assert len(db.runs()) == 1
+            assert len(db.query(workload="bubble_sort")) == 2
+
+
+class TestQuery:
+    def test_axis_filters(self, two_identical_runs):
+        a, _ = two_identical_runs
+        with ResultsDB() as db:
+            db.ingest(a)
+            assert len(db.query(workload="bubble_sort")) == 2
+            assert len(db.query(workload="gemm")) == 0
+            assert len(db.query(optimize=True)) == 1
+            assert len(db.query(optimize=False)) == 1
+            assert len(db.query(engine="fast", params={"length": 8})) == 2
+            assert len(db.query(params={})) == 0  # no default-size instances
+            assert len(db.query(status="ok")) == 2
+
+    def test_latest_only_collapses_to_one_record_per_job(self, two_identical_runs):
+        a, b = two_identical_runs
+        with ResultsDB() as db:
+            db.ingest(a)
+            # Tamper run B so the runs disagree, then check latest wins.
+            store = RunStore(b)
+            record = store.records()[0]
+            record["cycles"] += 7
+            store.append(record)
+            db.ingest(b)
+            assert len(db.query()) == 4
+            latest = db.query(latest_only=True)
+            assert len(latest) == 2
+            tampered = db.latest(record["job_id"])
+            assert tampered["cycles"] == record["cycles"]
+            history = db.job_history(record["job_id"])
+            assert len(history) == 2
+            assert history[0]["cycles"] == record["cycles"] - 7
+
+    def test_run_root_filter(self, two_identical_runs):
+        a, b = two_identical_runs
+        with ResultsDB() as db:
+            db.ingest(a)
+            db.ingest(b)
+            assert len(db.query(run_root=a)) == 2
+            assert len(db.query(run_root=b)) == 2
+
+    def test_unknown_run_root_is_an_error_not_empty(self, two_identical_runs):
+        a, _ = two_identical_runs
+        with ResultsDB() as db:
+            db.ingest(a)
+            with pytest.raises(StoreError):
+                db.query(run_root="/no/such/run")
+
+    def test_latest_of_unknown_job_is_none(self):
+        with ResultsDB() as db:
+            assert db.latest("feedfacefeed") is None
+
+
+class TestDeltas:
+    def test_identical_runs_have_no_deltas(self, two_identical_runs):
+        a, b = two_identical_runs
+        with ResultsDB() as db:
+            db.ingest(a)
+            db.ingest(b)
+            report = db.deltas(a, b)
+            assert report.ok
+            assert report.jobs_compared == 2
+
+    def test_cycle_drift_is_a_delta(self, two_identical_runs):
+        a, b = two_identical_runs
+        store = RunStore(b)
+        record = store.records()[0]
+        record["cycles"] += 3
+        record["stats"]["cycles"] += 3
+        store.append(record)
+        with ResultsDB() as db:
+            db.ingest(a)
+            db.ingest(b)
+            report = db.deltas(a, b)
+            assert not report.ok
+            assert "cycles" in {diff.field for diff in report.diffs}
+
+    def test_unknown_run_is_an_error(self, two_identical_runs):
+        a, _ = two_identical_runs
+        with ResultsDB() as db:
+            db.ingest(a)
+            with pytest.raises(StoreError):
+                db.deltas(a, "/nonexistent/run")
