@@ -5,9 +5,23 @@ keeps ``pytest`` working in a pristine checkout (or in offline environments
 where the editable install is unavailable).
 """
 
+import atexit
 import os
+import shutil
 import sys
+import tempfile
 
 _SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+# Point the cross-process artifact cache (repro.cache) at a throwaway
+# directory unless the invoker pinned one: the suite must never read stale
+# artifacts from — or leak test artifacts into — the developer's real
+# ~/.cache/art9.  Spawned worker subprocesses inherit the variable, so the
+# cross-process behaviour under test is preserved; the directory is removed
+# when this (parent) session exits.
+if "ART9_CACHE_DIR" not in os.environ:
+    _CACHE_DIR = tempfile.mkdtemp(prefix="art9-test-artifacts-")
+    os.environ["ART9_CACHE_DIR"] = _CACHE_DIR
+    atexit.register(shutil.rmtree, _CACHE_DIR, True)

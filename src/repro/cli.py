@@ -9,13 +9,17 @@ Subcommands::
     art9 serve                     coordinate a sweep for remote workers (TCP)
     art9 work                      execute jobs for a remote coordinator
     art9 report                    paper tables (II-V, Fig. 5) from sweep runs
-    art9 fuzz                      differential-fuzz the three ART-9 executors
+    art9 fuzz                      differential-fuzz the four ART-9 executors
     art9 hw                        print the gate-level / FPGA analysis
     art9 workloads                 list the bundled benchmark workloads
 
-``run`` and ``bench`` accept ``--engine {fast,pipeline}`` to choose between
-the pre-decoded integer engine (default) and the stage-by-stage pipeline
-model; both produce identical cycle statistics.  ``sweep`` shards its grid
+``run`` and ``bench`` accept ``--engine {fast,pipeline,compiled}`` to choose
+between the pre-decoded integer engine (default), the stage-by-stage
+pipeline model and the superblock code-generating engine; all three produce
+identical cycle statistics.  ``bench --json PATH`` additionally writes a
+machine-readable perf record (fast vs compiled timings per workload plus
+cold/warm sweep wall time) for the benchmark trajectory committed as
+``BENCH_*.json``.  ``sweep`` shards its grid
 across an execution backend (``--backend {serial,multiprocessing,queue}``),
 and ``serve``/``work`` split the queue backend across machines: the
 coordinator hands jobs to any number of connected workers and streams
@@ -30,8 +34,13 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import platform
 import socket
+import subprocess
 import sys
+import tempfile
+import time
 from typing import List, Optional
 
 from repro.baselines import PicoRV32Model, VexRiscvModel
@@ -96,7 +105,164 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Workload variants timed by ``art9 bench --json``: every bundled workload
+#: at paper-default size plus the grown Dhrystone instance the ≥3x
+#: compiled-vs-fast acceptance gate tracks.
+BENCH_JSON_VARIANTS = (
+    ("bubble_sort", {}),
+    ("gemm", {}),
+    ("sobel", {}),
+    ("dhrystone", {}),
+    ("dhrystone", {"iterations": 500}),
+)
+
+#: Schema version of the ``bench --json`` record (the BENCH_*.json files).
+BENCH_RECORD_FORMAT = 1
+
+
+def _bench_engine_seconds(engine_factories, program, repeat: int):
+    """Best-of-``repeat`` wall seconds per engine, interleaved.
+
+    One untimed warm-up run per engine first (fills the codegen memo and
+    the artifact cache), then the engines alternate within every timing
+    round so CPU frequency drift between phases cannot skew their ratio.
+    """
+    timings = {name: None for name, _ in engine_factories}
+    stats = {}
+    for name, factory in engine_factories:
+        stats[name] = factory(program).run_with_stats()  # warm-up
+    for _ in range(max(1, repeat)):
+        for name, factory in engine_factories:
+            started = time.perf_counter()
+            factory(program).run_with_stats()
+            elapsed = time.perf_counter() - started
+            if timings[name] is None or elapsed < timings[name]:
+                timings[name] = elapsed
+    return timings, stats
+
+
+def _bench_sweep_timing(preset: str) -> dict:
+    """Cold vs warm artifact-cache wall time of one preset sweep.
+
+    Each run happens in a *fresh interpreter* (subprocess) against a
+    private cache directory, so the cold run pays translation + codegen
+    for every grid point and the warm run demonstrates exactly what the
+    cross-process artifact cache saves a new worker fleet.
+    """
+    import repro
+
+    src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    with tempfile.TemporaryDirectory(prefix="art9-bench-") as tmp:
+        env = dict(os.environ)
+        env["ART9_CACHE_DIR"] = os.path.join(tmp, "artifacts")
+        env.pop("ART9_CACHE_DISABLE", None)
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+
+        def one_run(out_name: str):
+            command = [sys.executable, "-m", "repro.cli", "sweep",
+                       "--preset", preset, "--jobs", "1",
+                       "--out", os.path.join(tmp, out_name)]
+            started = time.perf_counter()
+            proc = subprocess.run(command, env=env, capture_output=True,
+                                  text=True)
+            elapsed = round(time.perf_counter() - started, 6)
+            if proc.returncode != 0:
+                # The timing is now meaningless; surface why the sweep died.
+                tail = (proc.stderr or proc.stdout or "").splitlines()[-15:]
+                print(f"art9 bench: {out_name} smoke sweep exited "
+                      f"{proc.returncode}:\n" + "\n".join(tail),
+                      file=sys.stderr)
+            return elapsed, proc.returncode
+
+        cold_seconds, cold_rc = one_run("cold")
+        warm_seconds, warm_rc = one_run("warm")
+    return {
+        "preset": preset,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "warm_speedup": round(cold_seconds / warm_seconds, 6)
+        if warm_seconds else None,
+        "ok": cold_rc == 0 and warm_rc == 0,
+    }
+
+
+def _cmd_bench_json(args: argparse.Namespace) -> int:
+    from repro.sim.compiled import CompiledEngine
+    from repro.sim.engine import FastEngine
+
+    software = SoftwareFramework()
+    rows = []
+    for name, params in BENCH_JSON_VARIANTS:
+        program, _, workload = software.compile_named_workload(name, params)
+        timings, stats = _bench_engine_seconds(
+            (("fast", FastEngine), ("compiled", CompiledEngine)),
+            program, args.repeat)
+        fast_seconds = timings["fast"]
+        compiled_seconds = timings["compiled"]
+        label = name + ("[" + ",".join(f"{k}={v}" for k, v in sorted(params.items()))
+                        + "]" if params else "")
+        rows.append({
+            "workload": name,
+            "params": dict(params),
+            "label": label,
+            "iterations": workload.iterations,
+            "cycles": stats["fast"].cycles,
+            "instructions": stats["fast"].instructions_committed,
+            "engines_agree": stats["fast"].cycles == stats["compiled"].cycles,
+            "fast_seconds": round(fast_seconds, 6),
+            "compiled_seconds": round(compiled_seconds, 6),
+            "compiled_speedup_vs_fast": round(fast_seconds / compiled_seconds, 6),
+        })
+        print(f"{label:32s} fast {fast_seconds * 1e3:8.2f} ms   "
+              f"compiled {compiled_seconds * 1e3:8.2f} ms   "
+              f"{fast_seconds / compiled_seconds:5.2f}x")
+    record = {
+        "format": BENCH_RECORD_FORMAT,
+        "created_unix": int(time.time()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "repeat": args.repeat,
+        "timing_mode": "run_with_stats (architectural execution + fused "
+                       "pipeline timing model), best-of-repeat seconds",
+        "workloads": rows,
+    }
+    sweep_ok = True
+    if not args.no_sweep_timing:
+        record["sweep"] = _bench_sweep_timing("smoke")
+        sweep = record["sweep"]
+        sweep_ok = sweep["ok"]
+        if sweep_ok:
+            print(f"{'sweep --preset smoke':32s} cold {sweep['cold_seconds']:8.2f} s"
+                  f"    warm {sweep['warm_seconds']:8.2f} s   "
+                  f"{sweep['warm_speedup']:5.2f}x (artifact cache)")
+        else:
+            # A failed sweep subprocess times the crash, not the sweep; the
+            # record must not enter the trajectory looking healthy.
+            print("art9 bench: smoke-preset sweep subprocess failed; "
+                  "wall-time numbers are invalid", file=sys.stderr)
+    with open(args.json_path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"bench record written to {args.json_path}")
+    engines_agree = all(row["engines_agree"] for row in rows)
+    if not engines_agree:
+        print("art9 bench: fast and compiled engines disagree on cycle "
+              "counts — the record above documents a correctness bug",
+              file=sys.stderr)
+    return 0 if sweep_ok and engines_agree else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.json_path:
+        if args.workloads or args.engine != "fast":
+            # --json times a fixed fast-vs-compiled variant set; silently
+            # dropping an explicit workload/engine selection would hand the
+            # user a record for measurements they did not ask for.
+            print("art9 bench: --json measures the fixed benchmark set on "
+                  "the fast and compiled engines; drop the workload names "
+                  "and --engine", file=sys.stderr)
+            return 2
+        return _cmd_bench_json(args)
     names = args.workloads or sorted(all_workloads())
     software = SoftwareFramework()
     hardware = HardwareFramework(engine=args.engine)
@@ -349,6 +515,17 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("workloads", nargs="*", help="workload names (default: all)")
     bench.add_argument("--engine", choices=SIMULATION_ENGINES, default="fast",
                        help="execution engine (default: fast)")
+    bench.add_argument("--json", dest="json_path", metavar="PATH", default=None,
+                       help="write a machine-readable perf record to PATH "
+                            "(fast vs compiled per workload plus cold/warm "
+                            "smoke-sweep wall time); seeds the BENCH_*.json "
+                            "trajectory")
+    bench.add_argument("--repeat", type=int, default=3,
+                       help="timing repetitions per engine in --json mode "
+                            "(best-of; default: 3)")
+    bench.add_argument("--no-sweep-timing", action="store_true",
+                       help="skip the cold/warm sweep wall-time measurement "
+                            "in --json mode")
     bench.set_defaults(func=_cmd_bench)
 
     sweep = subparsers.add_parser(
@@ -425,7 +602,8 @@ def build_parser() -> argparse.ArgumentParser:
     report.set_defaults(func=_cmd_report)
 
     fuzz_cmd = subparsers.add_parser(
-        "fuzz", help="differential-fuzz the fast engine against both simulators")
+        "fuzz", help="differential-fuzz all four executors (functional, "
+                     "pipeline, fast, compiled) against each other")
     fuzz_cmd.add_argument("--count", type=int, default=100,
                           help="number of random programs (default: 100)")
     fuzz_cmd.add_argument("--seed", type=int, default=0,

@@ -16,7 +16,8 @@ the paper in a few calls:
 >>> evaluation = hw.evaluate(art9_program, iterations=workload.iterations)
 """
 
-from repro.framework.swflow import SoftwareFramework
+from repro.framework.swflow import SoftwareFramework, TranslationSummary
 from repro.framework.hwflow import EvaluationResult, HardwareFramework
 
-__all__ = ["SoftwareFramework", "HardwareFramework", "EvaluationResult"]
+__all__ = ["SoftwareFramework", "TranslationSummary", "HardwareFramework",
+           "EvaluationResult"]

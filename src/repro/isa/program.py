@@ -9,8 +9,10 @@ of the ternary data memory (TDM).
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional
 
 from repro.isa.encoder import encode_instruction
 from repro.isa.instructions import Instruction
@@ -155,3 +157,58 @@ class Program:
             data_labels=dict(self.data_labels),
             name=self.name,
         )
+
+    # -- serialisation / identity ----------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Pure-data form of the program (JSON-safe, round-trips exactly).
+
+        This is what the cross-process artifact cache stores: a translated
+        program survives as data and is rebuilt with :meth:`from_dict` in
+        another worker process without re-running the translator.
+        """
+        return {
+            "name": self.name,
+            "instructions": [
+                [i.mnemonic, i.ta, i.tb, i.imm, i.branch_trit, i.label, i.source]
+                for i in self.instructions
+            ],
+            "labels": dict(self.labels),
+            "data": [
+                {"base_address": segment.base_address,
+                 "values": list(segment.values)}
+                for segment in self.data
+            ],
+            "data_labels": dict(self.data_labels),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Program":
+        """Rebuild a program from :meth:`to_dict` output."""
+        return cls(
+            instructions=[
+                Instruction(mnemonic=row[0], ta=row[1], tb=row[2], imm=row[3],
+                            branch_trit=row[4], label=row[5], source=row[6])
+                for row in data.get("instructions", ())
+            ],
+            labels={str(k): int(v) for k, v in dict(data.get("labels", {})).items()},
+            data=[
+                DataSegment(base_address=int(seg["base_address"]),
+                            values=[int(v) for v in seg["values"]])
+                for seg in data.get("data", ())
+            ],
+            data_labels={str(k): int(v)
+                         for k, v in dict(data.get("data_labels", {})).items()},
+            name=str(data.get("name", "program")),
+        )
+
+    def content_digest(self) -> str:
+        """SHA-256 over the canonical serialised form.
+
+        Two programs with identical instructions, data and symbols digest
+        identically regardless of how they were produced, which is what
+        keys the compiled-engine codegen artifacts.
+        """
+        blob = json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()

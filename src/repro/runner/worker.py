@@ -6,7 +6,11 @@ Every function here is importable at module scope so it can cross a
 per optimize setting (which itself memoises assembled/translated programs)
 and one :class:`HardwareFramework` per engine, so a worker that executes
 both the fast-engine and pipeline jobs of a workload pays for assembly and
-translation exactly once.
+translation exactly once.  Across *processes*, translation and
+compiled-engine codegen additionally flow through the shared on-disk
+artifact cache (:mod:`repro.cache`): the first worker anywhere on the
+machine to reach a grid point builds the artifact, every later worker —
+including ones in entirely separate sweep invocations — deserialises it.
 
 The same property makes the inline (``jobs=1``) path cheap: the
 orchestrator calls :func:`execute_job` directly in-process and hits the
@@ -97,8 +101,16 @@ def execute_job(job: SweepJob) -> dict:
 
 
 def _execute_art9(job: SweepJob) -> dict:
-    """Translate and simulate one workload on an ART-9 engine."""
-    program, report, workload = _software(job.optimize).compile_named_workload(
+    """Translate and simulate one workload on an ART-9 engine.
+
+    Translation goes through the cross-process artifact cache
+    (:meth:`~repro.framework.swflow.SoftwareFramework.
+    compile_named_workload_cached`), so across a whole worker fleet each
+    grid point is translated once, no matter how many processes — local
+    pool workers, queue-backend spawn workers or remote ``art9 work``
+    clients — touch it.
+    """
+    program, report, workload = _software(job.optimize).compile_named_workload_cached(
         job.workload, job.params_dict)
     stats, registers, memory = _hardware(job.engine).simulate_with_state(
         program, max_cycles=job.max_cycles, engine=job.engine)

@@ -35,7 +35,7 @@ from repro.service.resultsdb import ResultsDB
 
 #: ART-9 engines in lookup-preference order (identical numbers, so the
 #: fast engine is simply the one more likely to be present in a sweep).
-_ART9_ENGINES = ("fast", "pipeline")
+_ART9_ENGINES = ("fast", "compiled", "pipeline")
 
 
 class ReportError(RuntimeError):

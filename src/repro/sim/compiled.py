@@ -1,0 +1,907 @@
+"""Compiled-code execution engine: superblock codegen for ART-9 programs.
+
+:class:`~repro.sim.engine.FastEngine` already executes on plain Python
+integers, but it still pays per-instruction dispatch through a long
+``if``/``elif`` chain on every dynamic instruction.  This module removes
+that cost by *compiling the program to Python*:
+
+1. the :class:`~repro.isa.program.Program` is pre-decoded once (sharing
+   ``FastEngine``'s validation) and partitioned into **superblocks** —
+   straight-line runs that end at a control transfer (``BEQ``/``BNE``/
+   ``JAL``/``JALR``/``HALT``) or just before a static branch target;
+2. each superblock is emitted as one specialized Python function via
+   ``compile()``/``exec``: registers live in local variables for the
+   duration of the block, balanced-ternary wraparound is inlined
+   arithmetically, immediates/targets/link values are folded to literal
+   constants, and the trit-wise gates index the same precomputed value
+   tables the fast engine uses;
+3. execution dispatches block-to-block through a PC → function table.
+   Entry points that are not statically visible (``JALR`` returns land on
+   the instruction after a call site, and a computed ``JALR`` can target
+   any address) are compiled lazily as *suffix* blocks on first dispatch.
+
+The analytic 5-stage timing model of ``FastEngine.run_with_stats`` is
+**fused into the generated code**.  Inside a superblock the committed
+instruction stream is statically known, so every stall/forwarding decision
+between interior instructions folds to a compile-time constant: a block
+contributes one constant increment per :class:`PipelineStats` counter,
+plus dynamic terms only for (a) its first two instructions, whose hazards
+depend on the rolling two-instruction window carried in from the previous
+block, and (b) its terminal branch outcome.  The carried window (previous
+destination/load/ALU flags, taken-control flag, previous gap and the
+destination two instructions back) crosses block boundaries in a small
+mutable state vector.
+
+Both entry points are bit-identical to the fast engine (and therefore to
+the functional and pipeline simulators — asserted by the 4-way
+differential machinery in :mod:`repro.testing` and the golden-trace
+suite):
+
+``run()``
+    Architectural execution behind the exact :class:`ExecutionResult`
+    contract.
+
+``run_with_stats()``
+    Architectural execution plus the fused :class:`PipelineStats` model.
+
+Differences under *error* conditions are limited to internal engine state:
+the instruction-budget check runs at block granularity, so a budget
+overrun raises the same :class:`SimulationError` (identical message)
+*before* executing the partial block instead of after it; out-of-range
+memory accesses raise the same :class:`MemoryError_` mid-block with the
+architectural prefix state (registers written so far, ``pc`` of the
+faulting instruction, committed-instruction count) restored to match the
+fast engine.
+
+Generated sources are deterministic functions of (program content,
+codegen version, timing mode, TDM depth), which is what lets the
+cross-process artifact cache (:mod:`repro.cache`) ship them between
+sweep workers: ``CompiledEngine`` asks the cache for the block sources
+before generating, so codegen happens once per grid point across a whole
+worker fleet.
+"""
+
+from __future__ import annotations
+
+import base64
+import importlib.util
+import marshal
+import sys
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.isa.program import Program
+from repro.isa.registers import NUM_REGISTERS, register_name
+from repro.sim import engine as _fast
+from repro.sim.engine import (
+    HALF,
+    MOD,
+    OP_ADD,
+    OP_ADDI,
+    OP_AND,
+    OP_ANDI,
+    OP_BEQ,
+    OP_BNE,
+    OP_COMP,
+    OP_HALT,
+    OP_JAL,
+    OP_JALR,
+    OP_LI,
+    OP_LOAD,
+    OP_LUI,
+    OP_MV,
+    OP_NTI,
+    OP_OR,
+    OP_PTI,
+    OP_SL,
+    OP_SLI,
+    OP_SR,
+    OP_SRI,
+    OP_STI,
+    OP_STORE,
+    OP_SUB,
+    OP_XOR,
+    FastEngine,
+    _MemoryView,
+    _MNEMONIC_OF,
+    _POW3,
+    _READS,
+    _WRITERS,
+    wrap,
+)
+from repro.sim.functional import ExecutionResult, SimulationError
+from repro.sim.memory import MemoryError_
+from repro.sim.pipeline.stats import PipelineStats
+
+#: Bumped whenever the shape of the generated code changes; part of the
+#: artifact-cache key so stale cached sources can never be executed.
+CODEGEN_VERSION = 1
+
+#: Interpreter identity for the marshalled code objects stored alongside
+#: the sources: ``marshal`` payloads are only valid for the exact bytecode
+#: format, so the magic number keys them (a different interpreter simply
+#: regenerates rather than loading garbage).
+PYTHON_TAG = (
+    f"{sys.implementation.name}-{sys.version_info[0]}.{sys.version_info[1]}-"
+    f"{importlib.util.MAGIC_NUMBER.hex()}"
+)
+
+#: In-process memo of compiled block bundles ``(codes, sources)`` keyed by
+#: the pre-decoded records (small LRU): the differential harness builds
+#: several engines per program and should pay for codegen once, artifact
+#: cache or not.  Suffix blocks discovered at run time (computed JALR
+#: targets) are added to the shared bundle, so they too compile once per
+#: process — and once per *fleet* when the artifact is re-published.
+_CODE_MEMO: "OrderedDict[tuple, tuple]" = OrderedDict()
+_CODE_MEMO_CAP = 64
+
+#: Opcodes that terminate a superblock.
+_TERMINALS = frozenset((OP_BEQ, OP_BNE, OP_JAL, OP_JALR, OP_HALT))
+
+# Timing state-vector layout (one flat list of ints, shared between the
+# driver loop and every generated block function):
+#   [0] load-use stalls        [1] control-flush bubbles
+#   [2] taken branches         [3] not-taken branches
+#   [4] jumps                  [5] EX forwards
+#   [6] MEM forwards           [7] ID forwards
+#   [8] p1 dest (-1 none)      [9] p1 is-load
+#   [10] p1 is-ALU-writer      [11] p1 taken-control
+#   [12] previous gap          [13] p2 dest (-1 none)
+#   [14] first-commit flag
+#   [15] fault pc              [16] fault offset in block
+_TS_LEN = 17
+_FAULT_PC, _FAULT_OFF = 15, 16
+#: Plain (untimed) blocks only use the fault cells, at the front.
+_ST_LEN = 2
+
+
+def superblock_leaders(records: Sequence[tuple]) -> set:
+    """Static block-entry addresses: 0, branch targets, fall-throughs."""
+    length = len(records)
+    leaders = {0} if length else set()
+    for pc, (op, _ta, _tb, imm, _bt) in enumerate(records):
+        if op in (OP_BEQ, OP_BNE, OP_JAL):
+            target = pc + imm
+            if 0 <= target < length:
+                leaders.add(target)
+        if op in _TERMINALS and pc + 1 < length:
+            leaders.add(pc + 1)
+    return leaders
+
+
+def superblock_span(records: Sequence[tuple], leaders: set, entry: int) -> List[int]:
+    """Addresses of the superblock entered at ``entry``."""
+    span = []
+    pc = entry
+    length = len(records)
+    while True:
+        span.append(pc)
+        if records[pc][0] in _TERMINALS:
+            break
+        nxt = pc + 1
+        if nxt >= length or nxt in leaders:
+            break
+        pc = nxt
+    return span
+
+
+class _Attrs:
+    """Static dataflow attributes of one pre-decoded record."""
+
+    __slots__ = ("op", "ta", "tb", "imm", "bt", "reads_ta", "reads_tb",
+                 "id_reads", "dest", "load", "alu")
+
+    def __init__(self, record: tuple):
+        self.op, self.ta, self.tb, self.imm, self.bt = record
+        self.reads_ta, self.reads_tb, self.id_reads = _READS[self.op]
+        self.dest = self.ta if self.op in _WRITERS else -1
+        self.load = self.op == OP_LOAD
+        self.alu = self.op in _WRITERS and self.op != OP_LOAD
+
+
+def _static_gap(prev: _Attrs, cur: _Attrs) -> int:
+    """Load-use gap between two adjacent in-block instructions.
+
+    Interior predecessors are never taken control transfers (blocks end at
+    those), so the only possible bubble is the one-cycle load-use stall.
+    """
+    if prev.load and ((cur.reads_ta and cur.ta == prev.dest)
+                      or (cur.reads_tb and cur.tb == prev.dest)):
+        return 1
+    return 0
+
+
+class _BlockWriter:
+    """Line buffer with indentation for one generated function."""
+
+    def __init__(self):
+        self.lines: List[str] = []
+
+    def emit(self, line: str, indent: int = 1) -> None:
+        self.lines.append("    " * indent + line)
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def generate_block_source(
+    entry: int,
+    span: Sequence[int],
+    records: Sequence[tuple],
+    timing: bool,
+    tdm_depth: int,
+) -> str:
+    """Emit the Python source of one superblock function.
+
+    The function is named ``_blk_<entry>`` (``_blk_<entry>_t`` for the
+    timing variant) and has the signature ``(regs, mem, st) -> next_pc``.
+    """
+    recs = [_Attrs(records[pc]) for pc in span]
+    n = len(recs)
+    last = recs[-1]
+    check_depth = tdm_depth != MOD
+    w = _BlockWriter()
+    name = f"_blk_{entry}_t" if timing else f"_blk_{entry}"
+    w.emit(f"def {name}(regs, mem, st):", 0)
+
+    # -- register locals ----------------------------------------------------
+    used = set()
+    for a in recs:
+        if a.reads_ta or a.dest >= 0:
+            used.add(a.ta)
+        if a.reads_tb:
+            used.add(a.tb)
+    for reg in sorted(used):
+        w.emit(f"r{reg} = regs[{reg}]")
+    if any(a.load for a in recs):
+        w.emit("_mg = mem.get")
+    written: set = set()
+
+    # -- timing bookkeeping -------------------------------------------------
+    s_stall = s_ex = s_mem = s_id = s_jump = 0
+    taken_var: Optional[str] = None  # terminal conditional outcome
+    if timing:
+        w.emit("_e8 = st[8]")
+
+    def fault_guard(addr_var: str, pc: int, offset: int) -> None:
+        w.emit(f"if {addr_var} >= {tdm_depth}:")
+        for reg in sorted(written):
+            w.emit(f"regs[{reg}] = r{reg}", 2)
+        base = _FAULT_PC if timing else 0
+        w.emit(f"st[{base}] = {pc}", 2)
+        w.emit(f"st[{base + 1}] = {offset}", 2)
+        w.emit(
+            f"raise MemoryError_('TDM: address %d out of range 0..{tdm_depth - 1}'"
+            f" % {addr_var})", 2)
+
+    def emit_forward_checks(cur: _Attrs, gap_expr, p1: Optional[_Attrs],
+                            wb_expr) -> None:
+        """EX/MEM/ID forwarding for the first two (dynamic) instructions.
+
+        ``gap_expr``/``wb_expr`` are either ints (statically known) or
+        variable names; ``p1`` is None when the predecessor is the carried
+        window (entry instruction), in which case its flags live in ``st``.
+        """
+        nonlocal s_ex, s_mem, s_id
+
+        def one(reads: bool, reg: int, stat_bucket: str) -> None:
+            nonlocal s_ex, s_mem, s_id
+            if not reads:
+                return
+            # EX-stage forward from the immediately preceding ALU writer.
+            if p1 is None:
+                ex_cond = f"{gap_expr} == 0 and st[10] and st[8] == {reg}" \
+                    if not isinstance(gap_expr, int) else (
+                        f"st[10] and st[8] == {reg}" if gap_expr == 0 else None)
+            else:
+                ex_hit = (isinstance(gap_expr, int) and gap_expr == 0
+                          and p1.alu and p1.dest == reg)
+                ex_cond = None
+                if ex_hit:
+                    if stat_bucket == "ex":
+                        s_ex += 1
+                    else:
+                        s_id += 1
+                    return
+            if ex_cond is not None:
+                w.emit(f"if {ex_cond}:")
+                w.emit(f"st[{5 if stat_bucket == 'ex' else 7}] += 1", 2)
+                prefix_elif = True
+            else:
+                prefix_elif = False
+            # MEM/WB forward from two slots back.
+            if isinstance(wb_expr, int):
+                if wb_expr >= 0 and wb_expr == reg:
+                    if stat_bucket == "ex":
+                        s_mem += 1
+                    else:
+                        s_id += 1
+                return
+            mem_counter = 6 if stat_bucket == "ex" else 7
+            if prefix_elif:
+                w.emit(f"elif {wb_expr} == {reg}:")
+            else:
+                w.emit(f"if {wb_expr} == {reg}:")
+            w.emit(f"st[{mem_counter}] += 1", 2)
+
+        one(cur.reads_ta, cur.ta, "ex")
+        one(cur.reads_tb, cur.tb, "ex")
+        one(cur.id_reads, cur.tb, "id")
+
+    def emit_timing(k: int) -> None:
+        """Per-instruction stall/forward accounting, constants folded."""
+        nonlocal s_stall
+        cur = recs[k]
+        if k == 0:
+            # Fully dynamic: hazards against the carried window.
+            w.emit("_g0 = 0")
+            w.emit("if st[14]:")
+            w.emit("st[14] = 0", 2)
+            w.emit("elif st[11]:")
+            w.emit("_g0 = 1", 2)
+            w.emit("st[1] += 1", 2)
+            read_regs = []
+            if cur.reads_ta:
+                read_regs.append(cur.ta)
+            if cur.reads_tb and cur.tb not in read_regs:
+                read_regs.append(cur.tb)
+            if read_regs:
+                cond = " or ".join(f"st[8] == {reg}" for reg in read_regs)
+                w.emit(f"elif st[9] and ({cond}):")
+                w.emit("_g0 = 1", 2)
+                w.emit("st[0] += 1", 2)
+            if cur.reads_ta or cur.reads_tb or cur.id_reads:
+                w.emit("if _g0:")
+                w.emit("_wb = st[8]", 2)
+                w.emit("elif st[12] == 0:")
+                w.emit("_wb = st[13]", 2)
+                w.emit("else:")
+                w.emit("_wb = -1", 2)
+                emit_forward_checks(cur, "_g0", None, "_wb")
+            return
+        prev = recs[k - 1]
+        gap = _static_gap(prev, cur)
+        s_stall += gap
+        if k == 1:
+            # gap and the EX-forward source are static; the MEM/WB slot may
+            # still be occupied by the carried predecessor when both gaps
+            # around it are empty.
+            if gap == 1:
+                emit_forward_checks(cur, gap, prev, prev.dest)
+            else:
+                wb_expr = "(_e8 if _g0 == 0 else -1)"
+                emit_forward_checks(cur, gap, prev, wb_expr)
+            return
+        gap_prev = _static_gap(recs[k - 2], prev)
+        if gap == 1:
+            wb = prev.dest
+        elif gap_prev == 0:
+            wb = recs[k - 2].dest
+        else:
+            wb = -1
+        emit_forward_checks(cur, gap, prev, wb)
+
+    # -- per-instruction emission -------------------------------------------
+    for k, pc in enumerate(span):
+        a = recs[k]
+        if timing:
+            emit_timing(k)
+        op, ta, tb, imm = a.op, a.ta, a.tb, a.imm
+        A, B = f"r{ta}", f"r{tb}"
+
+        if op == OP_ADDI:
+            if imm:
+                w.emit(f"{A} += {imm}")
+                w.emit(f"if {A} > {HALF}:")
+                w.emit(f"{A} -= {MOD}", 2)
+                w.emit(f"elif {A} < {-HALF}:")
+                w.emit(f"{A} += {MOD}", 2)
+                written.add(ta)
+        elif op == OP_ADD:
+            w.emit(f"{A} += {A if ta == tb else B}")
+            w.emit(f"if {A} > {HALF}:")
+            w.emit(f"{A} -= {MOD}", 2)
+            w.emit(f"elif {A} < {-HALF}:")
+            w.emit(f"{A} += {MOD}", 2)
+            written.add(ta)
+        elif op == OP_LOAD:
+            addr = f"({B} + {imm}) % {MOD}" if imm else f"{B} % {MOD}"
+            w.emit(f"_a = {addr}")
+            if check_depth:
+                fault_guard("_a", pc, k)
+            w.emit(f"{A} = _mg(_a, 0)")
+            written.add(ta)
+        elif op == OP_STORE:
+            addr = f"({B} + {imm}) % {MOD}" if imm else f"{B} % {MOD}"
+            if check_depth:
+                w.emit(f"_a = {addr}")
+                fault_guard("_a", pc, k)
+                w.emit(f"mem[_a] = {A}")
+            else:
+                w.emit(f"mem[{addr}] = {A}")
+        elif op in (OP_BEQ, OP_BNE):
+            cmp = "==" if op == OP_BEQ else "!="
+            w.emit(f"_tk = ({B} + 1) % 3 - 1 {cmp} {a.bt}")
+            taken_var = "_tk"
+        elif op == OP_LI:
+            w.emit(f"{A} = {imm} + {A} - (({A} + 121) % 243 - 121)")
+            written.add(ta)
+        elif op == OP_MV:
+            if ta != tb:
+                w.emit(f"{A} = {B}")
+                written.add(ta)
+        elif op == OP_SUB:
+            if ta == tb:
+                w.emit(f"{A} = 0")
+            else:
+                w.emit(f"{A} -= {B}")
+                w.emit(f"if {A} > {HALF}:")
+                w.emit(f"{A} -= {MOD}", 2)
+                w.emit(f"elif {A} < {-HALF}:")
+                w.emit(f"{A} += {MOD}", 2)
+            written.add(ta)
+        elif op == OP_JAL:
+            w.emit(f"{A} = {wrap(pc + 1)}")
+            written.add(ta)
+        elif op == OP_JALR:
+            w.emit(f"_base = {B}")
+            w.emit(f"{A} = {wrap(pc + 1)}")
+            w.emit(f"_nx = (_base + {imm}) % {MOD}" if imm
+                   else f"_nx = _base % {MOD}")
+            written.add(ta)
+        elif op == OP_LUI:
+            w.emit(f"{A} = {wrap(imm * 243)}")
+            written.add(ta)
+        elif op == OP_COMP:
+            if ta == tb:
+                w.emit(f"{A} = 0")
+            else:
+                w.emit(f"{A} = ({A} > {B}) - ({A} < {B})")
+            written.add(ta)
+        elif op == OP_SLI:
+            p = _POW3[imm % 9]
+            if p != 1:
+                w.emit(f"{A} = ({A} * {p} + {HALF}) % {MOD} - {HALF}")
+                written.add(ta)
+        elif op == OP_SRI:
+            p = _POW3[imm % 9]
+            if p != 1:
+                h = (p - 1) // 2
+                w.emit(f"{A} = ({A} - (({A} + {h}) % {p} - {h})) // {p}")
+                written.add(ta)
+        elif op == OP_SL:
+            w.emit(f"_p = P3[{B} % 9]")
+            w.emit(f"{A} = ({A} * _p + {HALF}) % {MOD} - {HALF}")
+            written.add(ta)
+        elif op == OP_SR:
+            w.emit(f"_p = P3[{B} % 9]")
+            w.emit("_h = (_p - 1) // 2")
+            w.emit(f"{A} = ({A} - (({A} + _h) % _p - _h)) // _p")
+            written.add(ta)
+        elif op in (OP_AND, OP_OR, OP_XOR):
+            w.emit(f"_x = T[{A} % {MOD}]")
+            w.emit(f"_y = T[{B} % {MOD}]")
+            w.emit("_v = 0")
+            w.emit("for _k in range(8, -1, -1):")
+            if op == OP_XOR:
+                w.emit("_s = _x[_k] + _y[_k]", 2)
+                w.emit("if _s == 2:", 2)
+                w.emit("_s = -1", 3)
+                w.emit("elif _s == -2:", 2)
+                w.emit("_s = 1", 3)
+                w.emit("_v = _v * 3 + _s", 2)
+            else:
+                pick = "<" if op == OP_AND else ">"
+                w.emit("_xa = _x[_k]", 2)
+                w.emit("_yb = _y[_k]", 2)
+                w.emit(f"_v = _v * 3 + (_xa if _xa {pick} _yb else _yb)", 2)
+            w.emit(f"{A} = _v")
+            written.add(ta)
+        elif op == OP_PTI:
+            w.emit(f"{A} = PTIT[{B} % {MOD}]")
+            written.add(ta)
+        elif op == OP_NTI:
+            w.emit(f"{A} = NTIT[{B} % {MOD}]")
+            written.add(ta)
+        elif op == OP_STI:
+            w.emit(f"{A} = -{B}")
+            written.add(ta)
+        elif op == OP_ANDI:
+            const_trits = _fast._TRITS[imm % MOD]
+            w.emit(f"_x = T[{A} % {MOD}]")
+            w.emit(f"_y = {const_trits!r}")
+            w.emit("_v = 0")
+            w.emit("for _k in range(8, -1, -1):")
+            w.emit("_xa = _x[_k]", 2)
+            w.emit("_yb = _y[_k]", 2)
+            w.emit("_v = _v * 3 + (_xa if _xa < _yb else _yb)", 2)
+            w.emit(f"{A} = _v")
+            written.add(ta)
+        # OP_HALT emits nothing: the driver reads the halt flag from the
+        # block metadata and the fall-through return below yields pc + 1.
+
+    # -- terminal accounting and carried-window epilogue --------------------
+    if timing:
+        if last.op in (OP_BEQ, OP_BNE):
+            w.emit("if _tk:")
+            w.emit("st[2] += 1", 2)
+            w.emit("else:")
+            w.emit("st[3] += 1", 2)
+        elif last.op in (OP_JAL, OP_JALR):
+            s_jump += 1
+        for slot, value in ((0, s_stall), (4, s_jump), (5, s_ex),
+                            (6, s_mem), (7, s_id)):
+            if value:
+                w.emit(f"st[{slot}] += {value}")
+        # p2 dest before p1 dest: for single-instruction blocks the new p2
+        # is the carried p1, captured in _e8 at entry.
+        w.emit(f"st[13] = {recs[-2].dest}" if n >= 2 else "st[13] = _e8")
+        w.emit(f"st[8] = {last.dest}")
+        w.emit(f"st[9] = {1 if last.load else 0}")
+        w.emit(f"st[10] = {1 if last.alu else 0}")
+        if last.op in (OP_JAL, OP_JALR):
+            w.emit("st[11] = 1")
+        elif last.op in (OP_BEQ, OP_BNE):
+            w.emit("st[11] = 1 if _tk else 0")
+        else:
+            w.emit("st[11] = 0")
+        if n >= 2:
+            w.emit(f"st[12] = {_static_gap(recs[-2], last)}")
+        else:
+            w.emit("st[12] = _g0")
+
+    for reg in sorted(written):
+        w.emit(f"regs[{reg}] = r{reg}")
+
+    last_pc = span[-1]
+    if last.op in (OP_BEQ, OP_BNE):
+        w.emit(f"return {last_pc + last.imm} if _tk else {last_pc + 1}")
+    elif last.op == OP_JAL:
+        w.emit(f"return {last_pc + last.imm}")
+    elif last.op == OP_JALR:
+        w.emit("return _nx")
+    else:  # HALT or fall-through into the next leader
+        w.emit(f"return {last_pc + 1}")
+    return w.source()
+
+
+class CompiledEngine:
+    """Superblock-compiled interpreter for ART-9 programs.
+
+    Construction mirrors :class:`FastEngine` (program + TDM depth) and
+    performs the same operand validation.  ``cache`` accepts an
+    :class:`~repro.cache.ArtifactCache` (or ``None`` to disable); by
+    default the process-wide cache of :func:`repro.cache.default_cache`
+    is used, so concurrently running sweep workers generate each
+    program's block sources exactly once between them.
+    """
+
+    def __init__(self, program: Program, tdm_depth: int = MOD,
+                 cache: object = "default"):
+        _fast._build_tables()
+        self.program = program
+        self.tdm_depth = tdm_depth
+        self._records = FastEngine._predecode(program)
+        self._mem: Dict[int, int] = {}
+        for segment in program.data:
+            for offset, value in enumerate(segment.values):
+                address = segment.base_address + offset
+                if not 0 <= address < tdm_depth:
+                    raise MemoryError_(
+                        f"TDM: address {address} out of range 0..{tdm_depth - 1}"
+                    )
+                self._mem[address] = wrap(value)
+        self._regs = [0] * NUM_REGISTERS
+        self.pc = 0
+        self.halted = False
+        self.instructions_executed = 0
+        self._leaders = superblock_leaders(self._records)
+        self._namespace = {
+            "__builtins__": {"range": range},
+            "MemoryError_": MemoryError_,
+            "T": _fast._TRITS,
+            "PTIT": _fast._PTI_WORD,
+            "NTIT": _fast._NTI_WORD,
+            "P3": _POW3,
+        }
+        # timing-mode → entry pc → (fn, length, halts, entry index)
+        self._tables: Dict[bool, Dict[int, tuple]] = {False: {}, True: {}}
+        # timing-mode → the shared (codes, sources) bundle backing the table
+        self._bundles: Dict[bool, tuple] = {}
+        self._entries: List[Tuple[int, Tuple[str, ...]]] = []
+        self._counts: List[int] = []
+        self._entry_index: Dict[int, int] = {}
+        self._fault_partial: Optional[Tuple[int, int]] = None
+        self._digest: Optional[str] = None
+        if cache == "default":
+            from repro.cache import default_cache
+            cache = default_cache()
+        self._cache = cache
+
+    # -- codegen ------------------------------------------------------------
+
+    def content_digest(self) -> str:
+        if self._digest is None:
+            self._digest = self.program.content_digest()
+        return self._digest
+
+    def _cache_key_material(self, timing: bool) -> dict:
+        return {
+            "program_digest": self.content_digest(),
+            "codegen_version": CODEGEN_VERSION,
+            "python": PYTHON_TAG,
+            "timing": timing,
+            "tdm_depth": self.tdm_depth,
+        }
+
+    def _publish(self, codes: Dict[int, object],
+                 sources: Dict[int, str], timing: bool) -> None:
+        """Write the current block bundle to the cross-process cache."""
+        if self._cache is not None:
+            self._cache.put_json("codegen", self._cache_key_material(timing), {
+                "code": base64.b64encode(marshal.dumps(codes)).decode("ascii"),
+                "blocks": {str(entry): source
+                           for entry, source in sources.items()},
+            })
+
+    def _block_bundle(self, timing: bool) -> tuple:
+        """``(codes, sources)`` for every known superblock of this program.
+
+        Resolution order: in-process memo, then the cross-process artifact
+        cache (marshalled code objects, orders of magnitude cheaper to
+        load than re-running ``compile``), then generation from scratch —
+        which populates both layers for the next consumer.
+
+        The memo keys on the pre-decoded records themselves (codegen is a
+        pure function of them plus the TDM depth), so a memo hit never
+        pays for a program content digest; the digest is only computed
+        when the disk cache has to be consulted.
+        """
+        memo_key = (tuple(self._records), CODEGEN_VERSION, timing,
+                    self.tdm_depth)
+        bundle = _CODE_MEMO.get(memo_key)
+        if bundle is not None:
+            _CODE_MEMO.move_to_end(memo_key)
+            return bundle
+        cache = self._cache
+        if cache is not None:
+            hit = cache.get_json("codegen", self._cache_key_material(timing))
+            if hit is not None:
+                try:
+                    loaded = marshal.loads(base64.b64decode(hit["code"]))
+                    bundle = (
+                        {int(entry): code for entry, code in loaded.items()},
+                        {int(entry): source
+                         for entry, source in hit.get("blocks", {}).items()},
+                    )
+                except (KeyError, TypeError, ValueError, EOFError):
+                    bundle = None  # treat a malformed artifact as a miss
+        if bundle is None:
+            sources = {
+                entry: generate_block_source(
+                    entry,
+                    superblock_span(self._records, self._leaders, entry),
+                    self._records, timing, self.tdm_depth)
+                for entry in sorted(self._leaders)
+            }
+            codes = {
+                entry: compile(source, f"<art9 block {entry}>", "exec")
+                for entry, source in sources.items()
+            }
+            bundle = (codes, sources)
+            self._publish(codes, sources, timing)
+        _CODE_MEMO[memo_key] = bundle
+        while len(_CODE_MEMO) > _CODE_MEMO_CAP:
+            _CODE_MEMO.popitem(last=False)
+        return bundle
+
+    def _install_block(self, entry: int, code, timing: bool) -> tuple:
+        exec(code, self._namespace)
+        name = f"_blk_{entry}_t" if timing else f"_blk_{entry}"
+        span = superblock_span(self._records, self._leaders, entry)
+        idx = self._entry_index.get(entry)
+        if idx is None:
+            idx = len(self._entries)
+            self._entry_index[entry] = idx
+            self._entries.append((entry, tuple(
+                _MNEMONIC_OF[self._records[pc][0]] for pc in span)))
+            self._counts.append(0)
+        record = (self._namespace[name], len(span),
+                  self._records[span[-1]][0] == OP_HALT, idx)
+        self._tables[timing][entry] = record
+        return record
+
+    def _build_table(self, timing: bool) -> None:
+        bundle = self._block_bundle(timing)
+        self._bundles[timing] = bundle
+        for entry, code in bundle[0].items():
+            self._install_block(entry, code, timing)
+
+    def _compile_suffix(self, entry: int, timing: bool) -> tuple:
+        """Lazily compile a block entered mid-way (e.g. a JALR return).
+
+        The result joins the shared bundle — and is re-published to the
+        artifact cache — so every later engine on this program (in this
+        process or any other) installs it up front instead of re-paying
+        ``compile`` per instance.  Before republishing, the current cache
+        entry is re-read and merged in: concurrent workers discovering
+        *different* suffixes would otherwise overwrite each other's
+        last-write-wins (content per block is still deterministic, so a
+        merge conflict cannot change behaviour — only who pays compile()).
+        """
+        bundle = self._bundles.get(timing)
+        if bundle is not None and entry in bundle[0]:
+            return self._install_block(entry, bundle[0][entry], timing)
+        source = generate_block_source(
+            entry, superblock_span(self._records, self._leaders, entry),
+            self._records, timing, self.tdm_depth)
+        code = compile(source, f"<art9 block {entry}>", "exec")
+        if bundle is not None:
+            codes, sources = bundle
+            codes[entry] = code
+            sources[entry] = source
+            if self._cache is not None:
+                current = self._cache.get_json(
+                    "codegen", self._cache_key_material(timing))
+                if current is not None:
+                    try:
+                        loaded = marshal.loads(base64.b64decode(current["code"]))
+                        for other, other_code in loaded.items():
+                            codes.setdefault(int(other), other_code)
+                        for other, other_source in current.get("blocks", {}).items():
+                            sources.setdefault(int(other), other_source)
+                    except (KeyError, TypeError, ValueError, EOFError):
+                        pass  # unreadable entry: our fresh bundle replaces it
+            self._publish(codes, sources, timing)
+        return self._install_block(entry, code, timing)
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, max_instructions: int = 10_000_000) -> ExecutionResult:
+        """Run until HALT; same contract and limits as the fast engine."""
+        self._execute(max_instructions, None)
+        return ExecutionResult(
+            instructions_executed=self.instructions_executed,
+            halted=self.halted,
+            registers=self.registers_snapshot(),
+            pc=self.pc,
+            instruction_mix=self.instruction_mix(),
+            memory=dict(self._mem),
+        )
+
+    def run_with_stats(self, max_cycles: int = 50_000_000) -> PipelineStats:
+        """Execute and return pipeline statistics identical to the 5-stage model."""
+        if not self.program.instructions:
+            raise SimulationError("cannot simulate an empty program")
+        if self.instructions_executed or self.halted:
+            raise SimulationError(
+                "engine state already consumed; build a fresh CompiledEngine "
+                "for timing statistics"
+            )
+        stats = PipelineStats()
+        self._execute(max_cycles, stats)
+        if stats.cycles > max_cycles:
+            raise SimulationError(
+                f"program did not halt within {max_cycles} cycles"
+            )
+        return stats
+
+    def _execute(self, max_instructions: int,
+                 stats: Optional[PipelineStats]) -> None:
+        timing = stats is not None
+        table = self._tables[timing]
+        if not table and self._records:
+            self._build_table(timing)
+        if timing:
+            st = [0] * _TS_LEN
+            st[8] = st[13] = -1
+            st[14] = 1
+        else:
+            st = [0] * _ST_LEN
+        table_get = table.get
+        regs = self._regs
+        mem = self._mem
+        counts = self._counts
+        program_length = len(self._records)
+        pc = self.pc
+        executed = self.instructions_executed
+        halted = self.halted
+
+        while not halted:
+            if executed >= max_instructions:
+                self.pc, self.instructions_executed = pc, executed
+                raise SimulationError(
+                    f"program did not halt within {max_instructions} instructions"
+                )
+            if not 0 <= pc < program_length:
+                self.pc, self.instructions_executed = pc, executed
+                raise SimulationError(
+                    f"PC {pc} outside program of {program_length} instructions"
+                )
+            entry = table_get(pc)
+            if entry is None:
+                entry = self._compile_suffix(pc, timing)
+                counts = self._counts
+            fn, length, halts, idx = entry
+            if executed + length > max_instructions:
+                self.pc, self.instructions_executed = pc, executed
+                raise SimulationError(
+                    f"program did not halt within {max_instructions} instructions"
+                )
+            counts[idx] += 1
+            try:
+                pc = fn(regs, mem, st)
+            except MemoryError_:
+                base = _FAULT_PC if timing else 0
+                self.pc = st[base]
+                self.instructions_executed = executed + st[base + 1]
+                self._fault_partial = (idx, st[base + 1])
+                self.halted = False
+                raise
+            executed += length
+            if halts:
+                halted = True
+
+        self.pc = pc
+        self.instructions_executed = executed
+        self.halted = halted
+
+        if timing:
+            stats.instructions_committed = executed
+            stats.cycles = executed + 4 + st[0] + st[1]
+            stats.load_use_stalls = st[0]
+            stats.control_flush_bubbles = st[1]
+            stats.taken_branches = st[2]
+            stats.not_taken_branches = st[3]
+            stats.jumps = st[4]
+            stats.ex_forwards = st[5]
+            stats.mem_forwards = st[6]
+            stats.id_forwards = st[7]
+            stats.instruction_mix = self.instruction_mix()
+
+    # -- inspection helpers -------------------------------------------------
+
+    @property
+    def tdm(self) -> _MemoryView:
+        """Workload-checker-compatible view of the ternary data memory."""
+        return _MemoryView(self._mem, self.tdm_depth)
+
+    def registers_snapshot(self) -> Dict[str, int]:
+        """Name → integer value of the architectural registers."""
+        return {register_name(i): value for i, value in enumerate(self._regs)}
+
+    def register_snapshot(self) -> Dict[str, int]:
+        """Alias matching the pipeline simulator's accessor name."""
+        return self.registers_snapshot()
+
+    def instruction_mix(self) -> Dict[str, int]:
+        """Mnemonic → dynamic execution count (fault-aware)."""
+        mix: Dict[str, int] = {}
+        for idx, count in enumerate(self._counts):
+            if count:
+                for mnemonic in self._entries[idx][1]:
+                    mix[mnemonic] = mix.get(mnemonic, 0) + count
+        if self._fault_partial is not None:
+            idx, offset = self._fault_partial
+            for mnemonic in self._entries[idx][1][offset:]:
+                mix[mnemonic] -= 1
+                if not mix[mnemonic]:
+                    del mix[mnemonic]
+        return mix
+
+    def memory_values(self, base: int, count: int) -> List[int]:
+        """Read ``count`` consecutive TDM words starting at ``base``."""
+        return self.tdm.dump(base, count)
+
+    def block_map(self) -> Dict[int, int]:
+        """Entry address → block length of the static superblock partition."""
+        return {
+            entry: len(superblock_span(self._records, self._leaders, entry))
+            for entry in sorted(self._leaders)
+        }
+
+
+def compile_and_run(program: Program,
+                    max_instructions: int = 10_000_000) -> ExecutionResult:
+    """One-call convenience: run ``program`` on the compiled engine."""
+    return CompiledEngine(program).run(max_instructions=max_instructions)

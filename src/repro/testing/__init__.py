@@ -6,9 +6,11 @@ random program generator (:mod:`repro.testing.generator`) produces
 always-terminating ART-9 programs covering the whole ISA — straight-line
 arithmetic, bounded loops, forward branches, jumps and scattered
 loads/stores — and the differential runner (:mod:`repro.testing.differential`)
-executes each program on the fast engine, the functional simulator and the
-cycle-accurate pipeline, asserting identical architectural state (registers,
-memory, PC, halt flag) and identical pipeline statistics.
+executes each program on all four executors: the fast engine, the compiled
+superblock-codegen engine, the functional simulator and the cycle-accurate
+pipeline, asserting identical architectural state (registers, memory, PC,
+halt flag) and identical pipeline statistics from both analytic timing
+models.
 
 Run it from the command line with ``art9 fuzz --count 500 --seed 0``.
 """

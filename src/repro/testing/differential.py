@@ -1,8 +1,9 @@
-"""Differential runner: one program, three executors, zero tolerance.
+"""Differential runner: one program, four executors, zero tolerance.
 
-``run_differential`` executes a program on the fast engine and the functional
-simulator (always) and on the cycle-accurate pipeline simulator (optionally)
-and compares every piece of architectural state the executors share:
+``run_differential`` executes a program on the fast engine, the compiled
+(superblock-codegen) engine and the functional simulator (always) and on
+the cycle-accurate pipeline simulator (optionally) and compares every piece
+of architectural state the executors share:
 
 * register file contents (all nine registers, by name);
 * every touched TDM cell (including explicitly written zeros);
@@ -10,8 +11,9 @@ and compares every piece of architectural state the executors share:
   PC is architecturally meaningless and therefore not compared);
 * dynamic instruction count and per-mnemonic instruction mix;
 * the full :class:`PipelineStats` record — cycles, stalls, flush bubbles,
-  branch outcomes and all three forwarding counters — against the fast
-  engine's analytic timing model.
+  branch outcomes and all three forwarding counters — from *both* the fast
+  engine's analytic timing model and the compiled engine's fused one,
+  against the stage-by-stage pipeline simulator.
 
 ``fuzz`` drives the generator/runner pair over a seed range, collecting
 failures instead of raising so a fuzzing session reports every divergence.
@@ -23,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.isa.program import Program
+from repro.sim.compiled import CompiledEngine
 from repro.sim.engine import FastEngine
 from repro.sim.functional import ExecutionResult, FunctionalSimulator, SimulationError
 from repro.sim.pipeline import PipelineSimulator
@@ -90,37 +93,39 @@ class FuzzReport:
         )
 
 
-def _compare_executions(fast: ExecutionResult, reference: ExecutionResult,
-                        mismatches: List[str]) -> None:
-    if fast.registers != reference.registers:
+def _compare_executions(actual: ExecutionResult, reference: ExecutionResult,
+                        mismatches: List[str], label: str = "fast") -> None:
+    if actual.registers != reference.registers:
         diffs = {
-            name: (fast.registers[name], reference.registers[name])
-            for name in fast.registers
-            if fast.registers[name] != reference.registers.get(name)
+            name: (actual.registers[name], reference.registers[name])
+            for name in actual.registers
+            if actual.registers[name] != reference.registers.get(name)
         }
-        mismatches.append(f"registers differ (fast, functional): {diffs}")
-    if fast.memory != reference.memory:
-        keys = set(fast.memory) | set(reference.memory)
+        mismatches.append(f"registers differ ({label}, functional): {diffs}")
+    if actual.memory != reference.memory:
+        keys = set(actual.memory) | set(reference.memory)
         diffs = {
-            addr: (fast.memory.get(addr), reference.memory.get(addr))
+            addr: (actual.memory.get(addr), reference.memory.get(addr))
             for addr in sorted(keys)
-            if fast.memory.get(addr) != reference.memory.get(addr)
+            if actual.memory.get(addr) != reference.memory.get(addr)
         }
-        mismatches.append(f"memory differs (fast, functional): {diffs}")
-    if fast.pc != reference.pc:
-        mismatches.append(f"final PC differs: fast={fast.pc} functional={reference.pc}")
-    if fast.halted != reference.halted:
+        mismatches.append(f"memory differs ({label}, functional): {diffs}")
+    if actual.pc != reference.pc:
         mismatches.append(
-            f"halt flag differs: fast={fast.halted} functional={reference.halted}"
+            f"final PC differs: {label}={actual.pc} functional={reference.pc}")
+    if actual.halted != reference.halted:
+        mismatches.append(
+            f"halt flag differs: {label}={actual.halted} functional={reference.halted}"
         )
-    if fast.instructions_executed != reference.instructions_executed:
+    if actual.instructions_executed != reference.instructions_executed:
         mismatches.append(
             "instruction count differs: "
-            f"fast={fast.instructions_executed} functional={reference.instructions_executed}"
+            f"{label}={actual.instructions_executed} "
+            f"functional={reference.instructions_executed}"
         )
-    if fast.instruction_mix != reference.instruction_mix:
+    if actual.instruction_mix != reference.instruction_mix:
         mismatches.append(
-            f"instruction mix differs: fast={fast.instruction_mix} "
+            f"instruction mix differs: {label}={actual.instruction_mix} "
             f"functional={reference.instruction_mix}"
         )
 
@@ -134,33 +139,45 @@ def run_differential(
     """Execute ``program`` on every executor and compare the results.
 
     A :class:`SimulationError` (instruction budget exceeded, PC escape) is
-    itself differential evidence: both the fast engine and the functional
-    simulator must fail in the same way, otherwise one of them terminated a
-    program the other did not.  When both fail identically the outcome is
-    flagged ``budget_exhausted`` and the pipeline cross-check is skipped.
+    itself differential evidence: the fast engine, the compiled engine and
+    the functional simulator must all fail in the same way, otherwise one
+    of them terminated a program the others did not.  When they fail
+    identically the outcome is flagged ``budget_exhausted`` and the
+    pipeline cross-check is skipped.
     """
     fast_error: Optional[str] = None
+    compiled_error: Optional[str] = None
     reference_error: Optional[str] = None
     try:
         fast = FastEngine(program).run(max_instructions=max_instructions)
     except SimulationError as exc:
         fast_error = str(exc)
+    try:
+        # cache=None: generated fuzz programs are one-shot, so persisting
+        # their codegen artifacts would only pollute the shared cache (the
+        # in-process memo still de-duplicates the two engine builds below).
+        compiled = CompiledEngine(program, cache=None).run(
+            max_instructions=max_instructions)
+    except SimulationError as exc:
+        compiled_error = str(exc)
     functional = FunctionalSimulator(program)
     try:
         reference = functional.run(max_instructions=max_instructions)
     except SimulationError as exc:
         reference_error = str(exc)
 
-    if fast_error is not None or reference_error is not None:
+    if (fast_error is not None or compiled_error is not None
+            or reference_error is not None):
         outcome = DifferentialOutcome(
             program_name=program.name,
             instructions_executed=0,
             budget_exhausted=True,
         )
-        if fast_error != reference_error:
+        if fast_error != reference_error or compiled_error != reference_error:
             outcome.mismatches.append(
                 "executors disagree on termination: "
-                f"fast={fast_error!r} functional={reference_error!r}"
+                f"fast={fast_error!r} compiled={compiled_error!r} "
+                f"functional={reference_error!r}"
             )
         if raise_on_mismatch and not outcome.ok:
             raise DifferentialMismatch(
@@ -172,14 +189,17 @@ def run_differential(
         program_name=program.name,
         instructions_executed=reference.instructions_executed,
     )
-    _compare_executions(fast, reference, outcome.mismatches)
+    _compare_executions(fast, reference, outcome.mismatches, label="fast")
+    _compare_executions(compiled, reference, outcome.mismatches, label="compiled")
 
     if check_pipeline:
         pipeline = PipelineSimulator(program)
         # Cycles <= 2 * instructions + 4 for this pipeline; double it for slack.
-        pipeline_stats = pipeline.run(max_cycles=4 * max_instructions + 16)
-        timing_engine = FastEngine(program)
-        fast_stats = timing_engine.run_with_stats(max_cycles=4 * max_instructions + 16)
+        cycle_budget = 4 * max_instructions + 16
+        pipeline_stats = pipeline.run(max_cycles=cycle_budget)
+        fast_stats = FastEngine(program).run_with_stats(max_cycles=cycle_budget)
+        compiled_stats = CompiledEngine(program, cache=None).run_with_stats(
+            max_cycles=cycle_budget)
         outcome.cycles = pipeline_stats.cycles
 
         if pipeline.register_snapshot() != fast.registers:
@@ -189,17 +209,20 @@ def run_differential(
             )
         if pipeline.tdm.contents() != fast.memory:
             outcome.mismatches.append("pipeline memory differs from fast engine")
-        for field_name in STATS_FIELDS:
-            fast_value = getattr(fast_stats, field_name)
-            pipe_value = getattr(pipeline_stats, field_name)
-            if fast_value != pipe_value:
+        for label, stats in (("fast", fast_stats), ("compiled", compiled_stats)):
+            for field_name in STATS_FIELDS:
+                model_value = getattr(stats, field_name)
+                pipe_value = getattr(pipeline_stats, field_name)
+                if model_value != pipe_value:
+                    outcome.mismatches.append(
+                        f"stats.{field_name} differs: {label}={model_value} "
+                        f"pipeline={pipe_value}"
+                    )
+            if stats.instruction_mix != pipeline_stats.instruction_mix:
                 outcome.mismatches.append(
-                    f"stats.{field_name} differs: fast={fast_value} pipeline={pipe_value}"
+                    f"committed instruction mix differs between the {label} "
+                    "timing model and the pipeline"
                 )
-        if fast_stats.instruction_mix != pipeline_stats.instruction_mix:
-            outcome.mismatches.append(
-                "committed instruction mix differs between timing model and pipeline"
-            )
 
     if raise_on_mismatch and not outcome.ok:
         raise DifferentialMismatch(

@@ -24,6 +24,34 @@ from repro.xlate.redundancy import remove_redundancies
 from repro.xlate.regalloc import RegisterAllocation, RegisterAllocator
 from repro.xlate.runtime import append_runtime_helpers
 
+#: Version of the translation pipeline's observable output.  Part of the
+#: artifact-cache key for cached translations (:mod:`repro.cache`): bump it
+#: whenever a pass change can alter the emitted program or the report
+#: numbers, and every stale cached translation stops being addressed.
+#: (Workload-side changes need no bump — the cache key also digests the
+#: workload's generated RV-32 source.)
+TRANSLATOR_VERSION = 1
+
+
+def instruction_expansion_ratio(final_instructions: int,
+                                rv_instructions: int) -> float:
+    """Ratio of ART-9 instructions to the original RV-32 instructions.
+
+    Shared by :class:`TranslationReport` and the cache-facing
+    ``TranslationSummary`` so the two surfaces can never disagree on the
+    definition (including the nan-on-empty guard).
+    """
+    if rv_instructions == 0:
+        return float("nan")
+    return final_instructions / rv_instructions
+
+
+def memory_cell_ratio(ternary_memory_trits: int, rv_memory_bits: int) -> float:
+    """Ternary memory cells relative to binary memory cells (Fig. 5 metric)."""
+    if rv_memory_bits == 0:
+        return float("nan")
+    return ternary_memory_trits / rv_memory_bits
+
 
 @dataclass
 class TranslationReport:
@@ -45,16 +73,13 @@ class TranslationReport:
     @property
     def instruction_expansion(self) -> float:
         """Ratio of ART-9 instructions to the original RV-32 instructions."""
-        if self.rv_instructions == 0:
-            return float("nan")
-        return self.final_instructions / self.rv_instructions
+        return instruction_expansion_ratio(self.final_instructions,
+                                           self.rv_instructions)
 
     @property
     def memory_cell_ratio(self) -> float:
         """Ternary memory cells relative to binary memory cells (Fig. 5 metric)."""
-        if self.rv_memory_bits == 0:
-            return float("nan")
-        return self.ternary_memory_trits / self.rv_memory_bits
+        return memory_cell_ratio(self.ternary_memory_trits, self.rv_memory_bits)
 
     @property
     def memory_saving_percent(self) -> float:

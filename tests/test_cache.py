@@ -1,0 +1,227 @@
+"""The cross-process artifact cache: store semantics and layer integration.
+
+Covers the :mod:`repro.cache` store itself (addressing, atomicity-adjacent
+behaviour, corruption tolerance, environment plumbing), Program
+serialisation round-trips, the cached translation path of
+:class:`SoftwareFramework`, and the worker-level integration that makes a
+fresh process reuse another process's translations.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cache import (
+    ArtifactCache,
+    CACHE_DIR_ENV,
+    CACHE_DISABLE_ENV,
+    cache_key,
+    default_cache,
+    reset_default_cache,
+)
+from repro.framework import SoftwareFramework, TranslationSummary
+from repro.runner import SweepJob, execute_job
+from repro.runner.worker import reset_caches
+from repro.sim import FastEngine
+from repro.isa.program import Program
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ArtifactCache(str(tmp_path / "artifacts"))
+
+
+@pytest.fixture
+def isolated_default_cache(tmp_path, monkeypatch):
+    """Point the process-wide default cache at a private directory."""
+    root = str(tmp_path / "default-cache")
+    monkeypatch.setenv(CACHE_DIR_ENV, root)
+    monkeypatch.delenv(CACHE_DISABLE_ENV, raising=False)
+    reset_default_cache()
+    reset_caches()
+    yield root
+    reset_default_cache()
+    reset_caches()
+
+
+class TestArtifactCacheStore:
+    def test_roundtrip(self, cache):
+        material = {"kind": "unit", "value": 7}
+        assert cache.get_json("probe", material) is None
+        cache.put_json("probe", material, {"answer": 42})
+        assert cache.get_json("probe", material) == {"answer": 42}
+        assert cache.hits == 1 and cache.misses == 1 and cache.writes == 1
+
+    def test_key_material_addresses_the_content(self, cache):
+        cache.put_json("probe", {"v": 1}, {"payload": "one"})
+        assert cache.get_json("probe", {"v": 2}) is None
+        assert cache.get_json("probe", {"v": 1}) == {"payload": "one"}
+        assert cache_key({"v": 1}) != cache_key({"v": 2})
+        # Canonicalisation: key order never matters.
+        assert cache_key({"a": 1, "b": 2}) == cache_key({"b": 2, "a": 1})
+
+    def test_corrupted_entry_is_a_miss(self, cache):
+        material = {"torn": True}
+        cache.put_json("probe", material, {"fine": 1})
+        path = cache.path_for("probe", cache_key(material))
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"trunca')
+        assert cache.get_json("probe", material) is None
+
+    def test_non_dict_entry_is_a_miss(self, cache):
+        material = {"shape": "wrong"}
+        cache.put_json("probe", material, {"fine": 1})
+        path = cache.path_for("probe", cache_key(material))
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("[1, 2, 3]")
+        assert cache.get_json("probe", material) is None
+
+    def test_entry_count_kinds_and_clear(self, cache):
+        cache.put_json("alpha", {"i": 1}, {})
+        cache.put_json("alpha", {"i": 2}, {})
+        cache.put_json("beta", {"i": 1}, {})
+        assert cache.kinds() == ["alpha", "beta"]
+        assert cache.entry_count() == 3
+        assert cache.entry_count("alpha") == 2
+        assert cache.clear() == 3
+        assert cache.entry_count() == 0
+
+    def test_stats_line_mentions_the_root(self, cache):
+        assert cache.root in cache.stats_line()
+
+    def test_default_cache_env_dir_and_disable(self, tmp_path, monkeypatch):
+        root = str(tmp_path / "from-env")
+        monkeypatch.setenv(CACHE_DIR_ENV, root)
+        monkeypatch.delenv(CACHE_DISABLE_ENV, raising=False)
+        reset_default_cache()
+        assert default_cache().root == root
+        monkeypatch.setenv(CACHE_DISABLE_ENV, "1")
+        assert default_cache() is None
+        monkeypatch.setenv(CACHE_DISABLE_ENV, "0")
+        assert default_cache().root == root
+        reset_default_cache()
+
+
+class TestProgramSerialisation:
+    @pytest.fixture(scope="class")
+    def translated(self):
+        software = SoftwareFramework()
+        return software.compile_named_workload("gemm", {"n": 2})
+
+    def test_roundtrip_is_exact(self, translated):
+        program, _, _ = translated
+        rebuilt = Program.from_dict(program.to_dict())
+        assert rebuilt.to_dict() == program.to_dict()
+        assert rebuilt.listing() == program.listing()
+        assert rebuilt.content_digest() == program.content_digest()
+
+    def test_rebuilt_program_executes_identically(self, translated):
+        program, _, _ = translated
+        rebuilt = Program.from_dict(json.loads(json.dumps(program.to_dict())))
+        original = FastEngine(program).run()
+        replayed = FastEngine(rebuilt).run()
+        assert replayed.registers == original.registers
+        assert replayed.memory == original.memory
+
+    def test_digest_tracks_content(self, translated):
+        program, _, _ = translated
+        modified = program.copy()
+        modified.instructions[0].imm = (modified.instructions[0].imm or 0) + 1
+        assert modified.content_digest() != program.content_digest()
+
+
+class TestCachedTranslation:
+    def test_miss_then_cross_instance_hit(self, cache):
+        first = SoftwareFramework()
+        program_a, summary_a, workload_a = first.compile_named_workload_cached(
+            "bubble_sort", {"length": 8}, cache=cache)
+        assert cache.entry_count("xlate") == 1
+        second = SoftwareFramework()  # fresh in-process memo: must hit disk
+        program_b, summary_b, workload_b = second.compile_named_workload_cached(
+            "bubble_sort", {"length": 8}, cache=cache)
+        assert cache.hits >= 1
+        assert program_b.to_dict() == program_a.to_dict()
+        assert summary_b == summary_a
+        assert workload_b.name == workload_a.name
+
+    def test_summary_matches_the_full_report(self, cache):
+        software = SoftwareFramework()
+        program, report, _ = software.compile_named_workload("sobel", None)
+        _, summary, _ = software.compile_named_workload_cached(
+            "sobel", None, cache=cache)
+        assert isinstance(summary, TranslationSummary)
+        assert summary.final_instructions == report.final_instructions
+        assert summary.instruction_expansion == report.instruction_expansion
+        assert summary.ternary_memory_trits == report.ternary_memory_trits
+        assert summary.memory_cell_ratio == report.memory_cell_ratio
+
+    def test_optimize_flag_is_part_of_the_key(self, cache):
+        SoftwareFramework(optimize=True).compile_named_workload_cached(
+            "bubble_sort", {"length": 8}, cache=cache)
+        SoftwareFramework(optimize=False).compile_named_workload_cached(
+            "bubble_sort", {"length": 8}, cache=cache)
+        assert cache.entry_count("xlate") == 2
+
+    def test_workload_source_change_invalidates(self, cache, monkeypatch):
+        SoftwareFramework().compile_named_workload_cached(
+            "bubble_sort", {"length": 8}, cache=cache)
+        import repro.framework.swflow as swflow
+        from repro.workloads import get_workload as real_get_workload
+
+        def tweaked(name, **params):
+            workload = real_get_workload(name, **params)
+            workload.rv_source = "# builder edited\n" + workload.rv_source
+            return workload
+
+        monkeypatch.setattr(swflow, "get_workload", tweaked)
+        SoftwareFramework().compile_named_workload_cached(
+            "bubble_sort", {"length": 8}, cache=cache)
+        assert cache.entry_count("xlate") == 2  # old entry no longer addressed
+
+    def test_translator_version_invalidates(self, cache, monkeypatch):
+        SoftwareFramework().compile_named_workload_cached(
+            "bubble_sort", {"length": 8}, cache=cache)
+        import repro.framework.swflow as swflow
+        monkeypatch.setattr(swflow, "TRANSLATOR_VERSION", 999)
+        SoftwareFramework().compile_named_workload_cached(
+            "bubble_sort", {"length": 8}, cache=cache)
+        assert cache.entry_count("xlate") == 2
+
+    def test_cache_none_bypasses_the_disk(self, tmp_path):
+        software = SoftwareFramework()
+        software.compile_named_workload_cached("bubble_sort", {"length": 8},
+                                               cache=None)
+        assert not os.path.exists(str(tmp_path / "artifacts"))
+
+
+class TestWorkerIntegration:
+    JOB = SweepJob("bubble_sort", "compiled", True, params=(("length", 8),))
+
+    def test_execute_job_populates_and_reuses_the_cache(
+            self, isolated_default_cache):
+        record = execute_job(self.JOB)
+        assert record["status"] == "ok" and record["verified"]
+        shared = default_cache()
+        assert shared.entry_count("xlate") >= 1
+        assert shared.entry_count("codegen") >= 1
+        # A "new process": drop every in-process memo, keep the disk.
+        reset_caches()
+        reset_default_cache()
+        from repro.sim.compiled import _CODE_MEMO
+        _CODE_MEMO.clear()
+        again = execute_job(self.JOB)
+        assert again["status"] == "ok"
+        assert again["cycles"] == record["cycles"]
+        assert again["state_digest"] == record["state_digest"]
+        assert default_cache().hits >= 1
+
+    def test_compiled_and_fast_jobs_produce_identical_numbers(
+            self, isolated_default_cache):
+        compiled = execute_job(self.JOB)
+        fast = execute_job(SweepJob("bubble_sort", "fast", True,
+                                    params=(("length", 8),)))
+        assert compiled["cycles"] == fast["cycles"]
+        assert compiled["stats"] == fast["stats"]
+        assert compiled["state_digest"] == fast["state_digest"]
+        assert compiled["translated_instructions"] == fast["translated_instructions"]

@@ -76,6 +76,38 @@ class TestBench:
         pipeline_out = capsys.readouterr().out
         assert fast_out == pipeline_out
 
+    def test_bench_compiled_engine_matches_fast(self, capsys):
+        assert main(["bench", "bubble_sort", "--engine", "compiled"]) == 0
+        compiled_out = capsys.readouterr().out
+        assert main(["bench", "bubble_sort", "--engine", "fast"]) == 0
+        assert compiled_out == capsys.readouterr().out
+
+    def test_bench_json_writes_the_perf_record(self, tmp_path, capsys):
+        import json
+
+        path = str(tmp_path / "bench.json")
+        assert main(["bench", "--json", path, "--repeat", "1",
+                     "--no-sweep-timing"]) == 0
+        assert "bench record written" in capsys.readouterr().out
+        with open(path, "r", encoding="utf-8") as handle:
+            record = json.load(handle)
+        assert record["format"] == 1
+        labels = {row["label"] for row in record["workloads"]}
+        assert "dhrystone[iterations=500]" in labels
+        for row in record["workloads"]:
+            assert row["engines_agree"] is True
+            assert row["fast_seconds"] > 0 and row["compiled_seconds"] > 0
+            assert row["compiled_speedup_vs_fast"] > 0
+        assert "sweep" not in record  # --no-sweep-timing
+
+    def test_bench_json_rejects_workload_and_engine_selection(self, tmp_path,
+                                                              capsys):
+        path = str(tmp_path / "bench.json")
+        assert main(["bench", "dhrystone", "--json", path]) == 2
+        assert "drop the workload names" in capsys.readouterr().err
+        assert main(["bench", "--engine", "pipeline", "--json", path]) == 2
+        capsys.readouterr()
+
 
 class TestFuzz:
     def test_fuzz_reports_clean_run(self, capsys):

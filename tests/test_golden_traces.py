@@ -7,6 +7,8 @@ structural reference).  Each test replays one executor against them:
 
 * the pipeline simulator itself (so the fixtures stay regenerable),
 * the fast engine (architectural state *and* its analytic timing model),
+* the compiled superblock-codegen engine (architectural state *and* its
+  fused timing model, plus the combined state digest),
 * the functional simulator (architectural state; it has no cycle model).
 
 Any drift in architectural state or cycle accounting across a refactor
@@ -21,6 +23,7 @@ import os
 import pytest
 
 from repro.framework import SoftwareFramework
+from repro.sim.compiled import CompiledEngine
 from repro.sim.engine import FastEngine
 from repro.sim.functional import FunctionalSimulator
 from repro.sim.pipeline import PipelineSimulator
@@ -80,6 +83,18 @@ def test_pipeline_simulator_matches_golden(path):
 def test_fast_engine_matches_golden(path):
     trace = _load(path)
     engine = FastEngine(_program_for(trace))
+    stats = engine.run_with_stats(max_cycles=MAX_CYCLES)
+    mismatches = trace_mismatches(
+        trace, engine.register_snapshot(), engine.tdm.contents(), stats)
+    assert not mismatches, "\n".join(mismatches)
+    assert state_digest(engine.register_snapshot(),
+                        engine.tdm.contents()) == trace["state_digest"]
+
+
+@pytest.mark.parametrize("path", FIXTURE_PATHS, ids=_fixture_id)
+def test_compiled_engine_matches_golden(path):
+    trace = _load(path)
+    engine = CompiledEngine(_program_for(trace))
     stats = engine.run_with_stats(max_cycles=MAX_CYCLES)
     mismatches = trace_mismatches(
         trace, engine.register_snapshot(), engine.tdm.contents(), stats)

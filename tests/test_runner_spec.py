@@ -54,9 +54,9 @@ class TestSweepJob:
 class TestSweepSpec:
     def test_default_grid_covers_all_workloads(self):
         jobs = SweepSpec().expand()
-        # 4 workloads x 2 engines x 2 optimize settings
-        assert len(jobs) == 16
-        assert len({job.job_id for job in jobs}) == 16
+        # 4 workloads x 3 engines (fast, pipeline, compiled) x 2 optimize settings
+        assert len(jobs) == 24
+        assert len({job.job_id for job in jobs}) == 24
         assert {job.workload for job in jobs} == {
             "bubble_sort", "dhrystone", "gemm", "sobel"}
 

@@ -202,8 +202,8 @@ class TestPresets:
     def test_default_preset_grows_the_grid(self):
         spec = preset_spec("default")
         jobs = spec.expand()
-        # 7 workload variants x 2 engines x 2 optimize settings.
-        assert len(jobs) == 28
+        # 7 workload variants x 3 engines x 2 optimize settings.
+        assert len(jobs) == 42
         labels = {job.label for job in jobs}
         assert "gemm[n=8]/fast/opt" in labels
         assert "sobel[size=16]/fast/opt" in labels
@@ -212,13 +212,14 @@ class TestPresets:
     def test_paper_preset_covers_all_engines(self):
         spec = preset_spec("paper")
         jobs = spec.expand()
-        # 4 workloads x 5 engines x optimize-on.
-        assert len(jobs) == 20
+        # 4 workloads x 6 engines (3 ART-9 + 3 baseline cores) x optimize-on.
+        assert len(jobs) == 24
         assert {job.engine for job in jobs} == set(ALL_ENGINES)
         assert all(job.optimize for job in jobs)
 
     def test_smoke_preset_matches_the_ci_grid(self):
-        assert len(preset_spec("smoke").expand()) == 8
+        # 2 workloads x 3 ART-9 engines x 2 optimize settings.
+        assert len(preset_spec("smoke").expand()) == 12
 
     def test_unknown_preset_is_an_error(self):
         with pytest.raises(SpecError):

@@ -48,7 +48,7 @@ class TestDistributedAcceptance:
     def test_both_runs_complete_and_verify(self, paper_runs):
         _, serial, _, queued, _ = paper_runs
         assert serial.ok and queued.ok
-        assert serial.executed == queued.executed == 20
+        assert serial.executed == queued.executed == 24
 
     def test_queue_run_used_at_least_two_workers(self, paper_runs):
         *_, backend = paper_runs
@@ -66,7 +66,7 @@ class TestDistributedAcceptance:
         serial_dir, _, queue_dir, _, _ = paper_runs
         report = compare_runs(serial_dir, queue_dir)
         assert report.ok, report.summary()
-        assert report.jobs_compared == 20
+        assert report.jobs_compared == 24
 
 
 class TestReportHeadlines:

@@ -1,0 +1,361 @@
+"""Unit and contract tests for the compiled superblock-codegen engine.
+
+The broad equivalence evidence lives in the 4-way differential suite and
+the golden traces; this file pins the engine-specific machinery — block
+partitioning, lazy suffix compilation for computed jump targets, the
+FastEngine-compatible error contract, fault-state restoration, and the
+codegen artifact-cache integration.
+"""
+
+import pytest
+
+from repro.cache import ArtifactCache
+from repro.framework import HardwareFramework, SoftwareFramework
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.sim import (
+    CompiledEngine,
+    FastEngine,
+    FunctionalSimulator,
+    MemoryError_,
+    SimulationError,
+    compile_and_run,
+)
+from repro.sim.compiled import (
+    _CODE_MEMO,
+    generate_block_source,
+    superblock_leaders,
+    superblock_span,
+)
+from repro.testing import generate_program
+from repro.testing.differential import STATS_FIELDS
+from repro.workloads import all_workloads
+
+DIRECTED_SOURCE = """
+LUI T1, 7
+LI T1, 13
+LUI T2, -3
+LI T2, -8
+ADD T1, T2
+SUB T2, T1
+AND T1, T2
+OR T2, T1
+XOR T1, T2
+PTI T3, T1
+NTI T4, T2
+STI T5, T3
+ANDI T4, 5
+ADDI T5, -4
+COMP T3, T4
+SLI T1, 2
+SRI T1, 1
+MV T6, T1
+LI T7, 3
+SL T6, T7
+SR T6, T7
+LI T8, 20
+STORE T6, T8, 1
+LOAD T7, T8, 1
+ADD T7, T7
+BNE T7, 0, skip
+ADDI T5, 1
+skip:
+HALT
+"""
+
+
+@pytest.fixture(scope="module")
+def translated_workloads():
+    software = SoftwareFramework()
+    return {
+        name: software.compile_workload(workload)[0]
+        for name, workload in all_workloads().items()
+    }
+
+
+class TestSuperblockPartition:
+    def test_every_address_is_in_exactly_one_leader_block(self, translated_workloads):
+        program = translated_workloads["dhrystone"]
+        records = FastEngine._predecode(program)
+        leaders = superblock_leaders(records)
+        covered = []
+        for entry in sorted(leaders):
+            covered.extend(superblock_span(records, leaders, entry))
+        assert sorted(covered) == list(range(len(records)))
+        assert len(covered) == len(set(covered))
+
+    def test_blocks_end_only_at_control_or_before_a_leader(self, translated_workloads):
+        program = translated_workloads["gemm"]
+        records = FastEngine._predecode(program)
+        leaders = superblock_leaders(records)
+        from repro.sim.compiled import _TERMINALS
+        for entry in sorted(leaders):
+            span = superblock_span(records, leaders, entry)
+            for pc in span[:-1]:  # interior instructions are straight-line
+                assert records[pc][0] not in _TERMINALS
+            last = span[-1]
+            assert (records[last][0] in _TERMINALS
+                    or last + 1 >= len(records) or last + 1 in leaders)
+
+    def test_block_map_reports_the_partition(self, translated_workloads):
+        engine = CompiledEngine(translated_workloads["bubble_sort"], cache=None)
+        block_map = engine.block_map()
+        assert sum(block_map.values()) == len(engine.program.instructions)
+        assert 0 in block_map
+
+    def test_codegen_is_deterministic(self, translated_workloads):
+        program = translated_workloads["sobel"]
+        records = FastEngine._predecode(program)
+        leaders = superblock_leaders(records)
+        entry = sorted(leaders)[1]
+        span = superblock_span(records, leaders, entry)
+        first = generate_block_source(entry, span, records, True, 3 ** 9)
+        second = generate_block_source(entry, span, records, True, 3 ** 9)
+        assert first == second
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("name", sorted(all_workloads()))
+    def test_workload_architectural_and_timing_parity(self, name,
+                                                      translated_workloads):
+        program = translated_workloads[name]
+        fast = FastEngine(program).run()
+        compiled = CompiledEngine(program, cache=None).run()
+        assert compiled.registers == fast.registers
+        assert compiled.memory == fast.memory
+        assert compiled.pc == fast.pc
+        assert compiled.halted and fast.halted
+        assert compiled.instructions_executed == fast.instructions_executed
+        assert compiled.instruction_mix == fast.instruction_mix
+        fast_stats = FastEngine(program).run_with_stats()
+        compiled_stats = CompiledEngine(program, cache=None).run_with_stats()
+        for field in STATS_FIELDS:
+            assert getattr(compiled_stats, field) == getattr(fast_stats, field)
+
+    def test_directed_all_opcode_program(self):
+        program = assemble(DIRECTED_SOURCE, name="directed")
+        fast = FastEngine(program).run()
+        compiled = compile_and_run(program)
+        assert compiled.registers == fast.registers
+        assert compiled.memory == fast.memory
+        assert compiled.instruction_mix == fast.instruction_mix
+        reference = FunctionalSimulator(program).run()
+        assert compiled.registers == reference.registers
+
+    def test_hardware_framework_compiled_engine(self, translated_workloads):
+        program = translated_workloads["bubble_sort"]
+        framework = HardwareFramework(engine="compiled")
+        stats, registers, memory = framework.simulate_with_state(program)
+        fast_stats, fast_regs, fast_mem = framework.simulate_with_state(
+            program, engine="fast")
+        assert stats.cycles == fast_stats.cycles
+        assert registers == fast_regs and memory == fast_mem
+
+    def test_mid_block_jalr_entry_compiles_a_suffix_block(self):
+        # The JALR lands at address 5, the middle of the straight-line block
+        # that starts at address 2 — only reachable through the lazy
+        # suffix-compilation path.
+        program = assemble(
+            "LI T1, 5\n"
+            "JALR T2, T1, 0\n"
+            "ADDI T3, 1\n"
+            "ADDI T3, 1\n"
+            "ADDI T3, 1\n"
+            "ADDI T4, 2\n"
+            "HALT\n",
+            name="midblock",
+        )
+        engine = CompiledEngine(program, cache=None)
+        result = engine.run()
+        fast = FastEngine(program).run()
+        assert result.registers == fast.registers
+        assert result.registers["T3"] == 0 and result.registers["T4"] == 2
+        assert 5 in engine._tables[False]  # the suffix entry materialised
+        assert 5 not in engine.block_map()  # ...but is not a static leader
+        compiled_stats = CompiledEngine(program, cache=None).run_with_stats()
+        fast_stats = FastEngine(program).run_with_stats()
+        for field in STATS_FIELDS:
+            assert getattr(compiled_stats, field) == getattr(fast_stats, field)
+
+
+class TestEngineContract:
+    def test_runaway_program_raises_same_message(self):
+        program = assemble("loop:\nJAL T6, loop")
+        with pytest.raises(SimulationError) as compiled_exc:
+            CompiledEngine(program, cache=None).run(max_instructions=500)
+        with pytest.raises(SimulationError) as fast_exc:
+            FastEngine(program).run(max_instructions=500)
+        assert str(compiled_exc.value) == str(fast_exc.value)
+
+    def test_budget_of_one_matches_fast_engine(self):
+        program = generate_program(7)
+        with pytest.raises(SimulationError) as compiled_exc:
+            CompiledEngine(program, cache=None).run(max_instructions=1)
+        with pytest.raises(SimulationError) as fast_exc:
+            FastEngine(program).run(max_instructions=1)
+        assert str(compiled_exc.value) == str(fast_exc.value)
+
+    def test_exact_budget_still_halts(self):
+        program = assemble("ADDI T1, 1\nHALT")
+        fast = FastEngine(program).run(max_instructions=2)
+        compiled = CompiledEngine(program, cache=None).run(max_instructions=2)
+        assert fast.halted and compiled.halted
+        assert compiled.instructions_executed == 2
+
+    def test_pc_escape_raises_same_message(self):
+        program = assemble("ADDI T1, 1")  # no HALT
+        with pytest.raises(SimulationError) as compiled_exc:
+            CompiledEngine(program, cache=None).run()
+        with pytest.raises(SimulationError) as fast_exc:
+            FastEngine(program).run()
+        assert str(compiled_exc.value) == str(fast_exc.value)
+
+    def test_empty_program_rejected_by_timing_model(self):
+        with pytest.raises(SimulationError):
+            CompiledEngine(Program(), cache=None).run_with_stats()
+
+    def test_single_halt_costs_five_cycles(self):
+        stats = CompiledEngine(assemble("HALT"), cache=None).run_with_stats()
+        assert stats.cycles == 5
+        assert stats.instructions_committed == 1
+
+    def test_timing_model_rejects_consumed_engine_state(self):
+        engine = CompiledEngine(assemble("ADDI T1, 1\nHALT"), cache=None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.run_with_stats()
+
+    def test_reduced_depth_memory_fault_matches_fast_engine(self):
+        program = assemble("LI T2, 100\nADDI T3, 1\nSTORE T1, T2, 0\nHALT")
+        fast = FastEngine(program, tdm_depth=64)
+        compiled = CompiledEngine(program, tdm_depth=64, cache=None)
+        with pytest.raises(MemoryError_) as fast_exc:
+            fast.run()
+        with pytest.raises(MemoryError_) as compiled_exc:
+            compiled.run()
+        assert str(compiled_exc.value) == str(fast_exc.value)
+        assert compiled.instructions_executed == fast.instructions_executed == 2
+        assert compiled.pc == fast.pc == 2
+        # The prefix state is restored: registers written before the fault
+        # stick, the faulting STORE is not in the mix.
+        assert compiled.registers_snapshot() == fast.registers_snapshot()
+        assert compiled.instruction_mix() == fast.instruction_mix()
+
+    def test_data_segment_out_of_depth_rejected_like_fast_engine(self):
+        from repro.isa.program import DataSegment
+        program = assemble("HALT")
+        program.data.append(DataSegment(base_address=70, values=[1]))
+        with pytest.raises(MemoryError_):
+            CompiledEngine(program, tdm_depth=64, cache=None)
+
+    def test_memory_view_and_snapshots(self):
+        program = assemble(
+            "LI T1, 77\nLI T2, 5\nSTORE T1, T2, 0\nSTORE T1, T2, 1\nHALT")
+        engine = CompiledEngine(program, cache=None)
+        engine.run()
+        assert engine.tdm.read_int(5) == 77
+        assert engine.tdm.dump(5, 2) == [77, 77]
+        assert engine.memory_values(5, 2) == [77, 77]
+        assert engine.register_snapshot() == engine.registers_snapshot()
+
+
+class TestCodegenArtifacts:
+    @pytest.fixture(autouse=True)
+    def fresh_memo(self):
+        # The in-process memo keys on program *records*, which these tests
+        # share via DIRECTED_SOURCE; clear it so every test observes the
+        # disk-cache path it means to exercise.
+        _CODE_MEMO.clear()
+        yield
+        _CODE_MEMO.clear()
+
+    def test_cache_roundtrip_and_hit(self, tmp_path):
+        program = assemble(DIRECTED_SOURCE, name="cache-roundtrip")
+        cache = ArtifactCache(str(tmp_path / "artifacts"))
+        first = CompiledEngine(program, cache=cache)
+        baseline = first.run_with_stats()
+        assert cache.entry_count("codegen") == 1
+        writes_before = cache.writes
+        _CODE_MEMO.clear()  # simulate a fresh process with a warm disk cache
+        second = CompiledEngine(program, cache=cache)
+        stats = second.run_with_stats()
+        assert stats.cycles == baseline.cycles
+        assert cache.hits >= 1
+        assert cache.writes == writes_before  # nothing regenerated
+
+    def test_corrupted_artifact_is_regenerated(self, tmp_path):
+        program = assemble(DIRECTED_SOURCE, name="cache-corrupt")
+        cache = ArtifactCache(str(tmp_path / "artifacts"))
+        engine = CompiledEngine(program, cache=cache)
+        engine.run_with_stats()
+        [path] = [
+            cache.path_for("codegen", name.split(".")[0])
+            for kind in ["codegen"]
+            for sub in sorted((tmp_path / "artifacts" / kind).iterdir())
+            for name in sorted(entry.name for entry in sub.iterdir())
+        ]
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"code": "not-base64-marshal"}')
+        _CODE_MEMO.clear()
+        stats = CompiledEngine(program, cache=cache).run_with_stats()
+        fast_stats = FastEngine(program).run_with_stats()
+        assert stats.cycles == fast_stats.cycles
+
+    def test_suffix_republish_merges_other_workers_discoveries(self, tmp_path):
+        """A suffix publisher must not erase suffixes another worker found."""
+        import base64
+        import json
+        import marshal
+
+        from repro.cache import cache_key
+        from repro.sim.compiled import (
+            CompiledEngine as CE,
+            generate_block_source,
+            superblock_span,
+        )
+
+        program = assemble(
+            "LI T1, 5\nJALR T2, T1, 0\nADDI T3, 1\nADDI T3, 1\nADDI T3, 1\n"
+            "ADDI T4, 2\nHALT\n", name="suffix-merge")
+        cache = ArtifactCache(str(tmp_path / "artifacts"))
+        engine = CE(program, cache=cache)
+        engine.run()  # discovers and publishes suffix entry 5
+        key_material = engine._cache_key_material(False)
+        path = cache.path_for("codegen", cache_key(key_material))
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert "5" in payload["blocks"]
+
+        # Simulate another worker's artifact: suffix 5 missing, but a
+        # different (valid) suffix at address 3 present.
+        other_source = generate_block_source(
+            3, superblock_span(engine._records, engine._leaders, 3),
+            engine._records, False, engine.tdm_depth)
+        codes = {
+            int(entry): code for entry, code in marshal.loads(
+                base64.b64decode(payload["code"])).items()
+            if int(entry) != 5
+        }
+        codes[3] = compile(other_source, "<other worker>", "exec")
+        blocks = {entry: source for entry, source in payload["blocks"].items()
+                  if entry != "5"}
+        blocks["3"] = other_source
+        cache.put_json("codegen", key_material, {
+            "code": base64.b64encode(marshal.dumps(codes)).decode("ascii"),
+            "blocks": blocks,
+        })
+
+        _CODE_MEMO.clear()  # fresh "process" rediscovers suffix 5...
+        CE(program, cache=cache).run()
+        with open(path, "r", encoding="utf-8") as handle:
+            merged = json.load(handle)
+        # ...and its republish keeps the other worker's suffix 3 too.
+        assert {"3", "5"} <= set(merged["blocks"])
+
+    def test_in_process_memo_shares_codegen_between_engines(self):
+        program = assemble(DIRECTED_SOURCE, name="memo-check")
+        _CODE_MEMO.clear()
+        CompiledEngine(program, cache=None).run()
+        memo_size = len(_CODE_MEMO)
+        CompiledEngine(program, cache=None).run()
+        assert len(_CODE_MEMO) == memo_size  # second engine reused the entry
