@@ -16,7 +16,11 @@ Subcommands::
 ``run`` and ``bench`` accept ``--engine {fast,pipeline,compiled}`` to choose
 between the pre-decoded integer engine (default), the stage-by-stage
 pipeline model and the superblock code-generating engine; all three produce
-identical cycle statistics.  ``bench --json PATH`` additionally writes a
+identical cycle statistics.  ``run``, ``bench``, ``fuzz``, ``sweep`` and
+``serve`` additionally accept ``--machine`` / ``--machines`` to select a
+built-in microarchitecture description (pipeline depth, branch policy,
+load-use penalty, fetch latency — see :mod:`repro.sim.machine`); the
+default is the paper's machine.  ``bench --json PATH`` additionally writes a
 machine-readable perf record (fast vs compiled timings per workload plus
 cold/warm sweep wall time) for the benchmark trajectory committed as
 ``BENCH_*.json``.  ``sweep`` shards its grid
@@ -71,6 +75,7 @@ from repro.service import (
     work,
 )
 from repro.service.protocol import DEFAULT_PORT
+from repro.sim.machine import DEFAULT_MACHINE_NAME, machine_names
 from repro.workloads import all_workloads, get_workload
 
 
@@ -91,7 +96,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         source = handle.read()
     software = SoftwareFramework()
     program, report = software.compile_riscv_assembly(source, name=args.source)
-    hardware = HardwareFramework(engine=args.engine)
+    hardware = HardwareFramework(engine=args.engine, machine=args.machine)
     stats = hardware.simulate(program)
     print(report.summary())
     print()
@@ -117,7 +122,8 @@ BENCH_JSON_VARIANTS = (
 )
 
 #: Schema version of the ``bench --json`` record (the BENCH_*.json files).
-BENCH_RECORD_FORMAT = 1
+#: Format 2 adds the per-machine-config Dhrystone rows (``machines`` key).
+BENCH_RECORD_FORMAT = 2
 
 
 def _bench_engine_seconds(engine_factories, program, repeat: int):
@@ -216,6 +222,25 @@ def _cmd_bench_json(args: argparse.Namespace) -> int:
         print(f"{label:32s} fast {fast_seconds * 1e3:8.2f} ms   "
               f"compiled {compiled_seconds * 1e3:8.2f} ms   "
               f"{fast_seconds / compiled_seconds:5.2f}x")
+    # Per-machine-config Dhrystone rows: the design-space sensitivity of the
+    # headline benchmark, cross-checked fast-vs-compiled at every corner.
+    machine_rows = []
+    program, _, workload = software.compile_named_workload("dhrystone", {})
+    for machine in machine_names():
+        fast_stats = FastEngine(program, machine=machine).run_with_stats()
+        compiled_stats = CompiledEngine(
+            program, machine=machine).run_with_stats()
+        machine_rows.append({
+            "machine": machine,
+            "workload": "dhrystone",
+            "iterations": workload.iterations,
+            "cycles": fast_stats.cycles,
+            "cpi": round(fast_stats.cpi, 6),
+            "engines_agree": fast_stats.cycles == compiled_stats.cycles,
+        })
+        print(f"dhrystone@{machine:22s} {fast_stats.cycles:>10d} cycles   "
+              f"CPI {fast_stats.cpi:5.3f}   "
+              f"{'ok' if machine_rows[-1]['engines_agree'] else 'DISAGREE'}")
     record = {
         "format": BENCH_RECORD_FORMAT,
         "created_unix": int(time.time()),
@@ -225,6 +250,7 @@ def _cmd_bench_json(args: argparse.Namespace) -> int:
         "timing_mode": "run_with_stats (architectural execution + fused "
                        "pipeline timing model), best-of-repeat seconds",
         "workloads": rows,
+        "machines": machine_rows,
     }
     sweep_ok = True
     if not args.no_sweep_timing:
@@ -244,7 +270,7 @@ def _cmd_bench_json(args: argparse.Namespace) -> int:
         json.dump(record, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"bench record written to {args.json_path}")
-    engines_agree = all(row["engines_agree"] for row in rows)
+    engines_agree = all(row["engines_agree"] for row in rows + machine_rows)
     if not engines_agree:
         print("art9 bench: fast and compiled engines disagree on cycle "
               "counts — the record above documents a correctness bug",
@@ -254,18 +280,21 @@ def _cmd_bench_json(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     if args.json_path:
-        if args.workloads or args.engine != "fast":
-            # --json times a fixed fast-vs-compiled variant set; silently
-            # dropping an explicit workload/engine selection would hand the
-            # user a record for measurements they did not ask for.
+        if args.workloads or args.engine != "fast" \
+                or args.machine != DEFAULT_MACHINE_NAME:
+            # --json times a fixed fast-vs-compiled variant set (and already
+            # covers every machine config); silently dropping an explicit
+            # workload/engine/machine selection would hand the user a record
+            # for measurements they did not ask for.
             print("art9 bench: --json measures the fixed benchmark set on "
-                  "the fast and compiled engines; drop the workload names "
-                  "and --engine", file=sys.stderr)
+                  "the fast and compiled engines across all machine configs; "
+                  "drop the workload names, --engine and --machine",
+                  file=sys.stderr)
             return 2
         return _cmd_bench_json(args)
     names = args.workloads or sorted(all_workloads())
     software = SoftwareFramework()
-    hardware = HardwareFramework(engine=args.engine)
+    hardware = HardwareFramework(engine=args.engine, machine=args.machine)
     header = f"{'workload':14s} {'ART-9 cycles':>14s} {'PicoRV32 cycles':>16s} {'VexRiscv cycles':>16s}"
     print(header)
     print("-" * len(header))
@@ -282,7 +311,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 def _sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
     grid_flags_used = (args.workloads or args.engines or args.params
-                       or args.optimize is not None
+                       or args.machines or args.optimize is not None
                        or args.max_cycles is not None)
     if args.spec:
         if getattr(args, "preset", None) or grid_flags_used:
@@ -305,6 +334,7 @@ def _sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
         params=params,
         max_cycles=(DEFAULT_MAX_CYCLES if args.max_cycles is None
                     else args.max_cycles),
+        machines=tuple(args.machines or (DEFAULT_MACHINE_NAME,)),
     )
 
 
@@ -445,6 +475,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         max_instructions=args.max_instructions,
         check_pipeline=not args.no_pipeline,
+        machine=args.machine,
     )
     print(report.summary())
     for failure in report.failures:
@@ -481,10 +512,16 @@ def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--params", default=None,
                         help='JSON workload variants, e.g. '
                              '\'{"gemm": [{}, {"n": 8}]}\'')
+    parser.add_argument("--machines", nargs="*", choices=machine_names(),
+                        default=None,
+                        help="machine (microarchitecture) configs axis "
+                             f"(default: {DEFAULT_MACHINE_NAME}; baseline "
+                             "cores always run the default)")
     parser.add_argument("--preset", choices=SWEEP_PRESETS, default=None,
                         help="named grid, replacing the other grid flags: "
                              "default (grown size variants), paper (all "
-                             "engines incl. baselines), smoke")
+                             "engines incl. baselines), smoke, machines "
+                             "(design-space corners)")
     parser.add_argument("--spec", default=None,
                         help="JSON sweep spec file, replacing the grid flags "
                              "and --preset")
@@ -509,12 +546,20 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("source", help="RV-32I assembly file")
     run.add_argument("--engine", choices=SIMULATION_ENGINES, default="fast",
                      help="execution engine (default: fast)")
+    run.add_argument("--machine", choices=machine_names(),
+                     default=DEFAULT_MACHINE_NAME,
+                     help="machine (microarchitecture) config "
+                          f"(default: {DEFAULT_MACHINE_NAME})")
     run.set_defaults(func=_cmd_run)
 
     bench = subparsers.add_parser("bench", help="run the bundled benchmarks")
     bench.add_argument("workloads", nargs="*", help="workload names (default: all)")
     bench.add_argument("--engine", choices=SIMULATION_ENGINES, default="fast",
                        help="execution engine (default: fast)")
+    bench.add_argument("--machine", choices=machine_names(),
+                       default=DEFAULT_MACHINE_NAME,
+                       help="machine (microarchitecture) config "
+                            f"(default: {DEFAULT_MACHINE_NAME})")
     bench.add_argument("--json", dest="json_path", metavar="PATH", default=None,
                        help="write a machine-readable perf record to PATH "
                             "(fast vs compiled per workload plus cold/warm "
@@ -614,6 +659,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="skip the (slower) cycle-accurate pipeline cross-check")
     fuzz_cmd.add_argument("--jobs", type=int, default=1,
                           help="worker processes sharing the seed range (default: 1)")
+    fuzz_cmd.add_argument("--machine", choices=machine_names(),
+                          default=DEFAULT_MACHINE_NAME,
+                          help="machine (microarchitecture) config all "
+                               "cycle-accurate executors run under "
+                               f"(default: {DEFAULT_MACHINE_NAME})")
     fuzz_cmd.set_defaults(func=_cmd_fuzz)
 
     hw = subparsers.add_parser("hw", help="gate-level / FPGA implementation analysis")

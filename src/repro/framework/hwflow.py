@@ -13,6 +13,7 @@ from repro.hweval.technology import TechnologyLibrary
 from repro.isa.program import Program
 from repro.sim.compiled import CompiledEngine
 from repro.sim.engine import FastEngine
+from repro.sim.machine import MachineConfig, resolve_machine
 from repro.sim.pipeline import PipelineSimulator, PipelineStats
 
 #: Known cycle-accurate execution engines of :meth:`HardwareFramework.simulate`.
@@ -76,7 +77,8 @@ class HardwareFramework:
 
     def __init__(self, technology: Optional[TechnologyLibrary] = None,
                  fpga_model: Optional[FPGAEmulationModel] = None,
-                 engine: str = "fast"):
+                 engine: str = "fast",
+                 machine: Optional[MachineConfig] = None):
         if engine not in SIMULATION_ENGINES:
             raise ValueError(
                 f"unknown simulation engine {engine!r}; known: {SIMULATION_ENGINES}"
@@ -85,35 +87,43 @@ class HardwareFramework:
         self.fpga_model = fpga_model or stratix_v_model()
         self.analyzer = GateLevelAnalyzer()
         self.engine = engine
+        #: Microarchitecture description shared by all three engines (a
+        #: :class:`MachineConfig`, a built-in config name or ``None`` for
+        #: the paper's default machine).
+        self.machine = resolve_machine(machine)
 
     def simulate(self, program: Program, max_cycles: int = 50_000_000,
-                 engine: Optional[str] = None) -> PipelineStats:
+                 engine: Optional[str] = None,
+                 machine: Optional[MachineConfig] = None) -> PipelineStats:
         """Run the cycle-accurate simulation with the selected engine."""
         stats, _, _ = self.simulate_with_state(program, max_cycles=max_cycles,
-                                               engine=engine)
+                                               engine=engine, machine=machine)
         return stats
 
     def simulate_with_state(self, program: Program, max_cycles: int = 50_000_000,
-                            engine: Optional[str] = None
+                            engine: Optional[str] = None,
+                            machine: Optional[MachineConfig] = None
                             ) -> Tuple[PipelineStats, Dict[str, int], Dict[int, int]]:
         """Simulate and return ``(stats, registers, touched memory)``.
 
         This is the sweep-runner entry point: both engines expose the same
         architectural snapshot after a run, so job records can carry a
         digest of the final machine state and regression comparisons can
-        catch architectural drift, not just cycle drift.
+        catch architectural drift, not just cycle drift.  ``machine``
+        overrides the framework's configured machine for this call.
         """
         engine = engine or self.engine
+        machine = self.machine if machine is None else resolve_machine(machine)
         if engine == "fast":
-            fast = FastEngine(program)
+            fast = FastEngine(program, machine=machine)
             stats = fast.run_with_stats(max_cycles=max_cycles)
             return stats, fast.register_snapshot(), fast.tdm.contents()
         if engine == "compiled":
-            compiled = CompiledEngine(program)
+            compiled = CompiledEngine(program, machine=machine)
             stats = compiled.run_with_stats(max_cycles=max_cycles)
             return stats, compiled.register_snapshot(), compiled.tdm.contents()
         if engine == "pipeline":
-            simulator = PipelineSimulator(program)
+            simulator = PipelineSimulator(program, machine=machine)
             stats = simulator.run(max_cycles=max_cycles)
             return stats, simulator.register_snapshot(), simulator.tdm.contents()
         raise ValueError(

@@ -11,7 +11,7 @@ independent of worker scheduling.
 from __future__ import annotations
 
 import multiprocessing
-from typing import List
+from typing import List, Optional
 
 from repro.runner.worker import execute_fuzz_chunk
 from repro.testing import FuzzReport, fuzz
@@ -22,7 +22,7 @@ CHUNKS_PER_WORKER = 4
 
 
 def _chunks(count: int, seed: int, jobs: int, max_instructions: int,
-            check_pipeline: bool) -> List[dict]:
+            check_pipeline: bool, machine: Optional[str] = None) -> List[dict]:
     target = max(1, min(count, jobs * CHUNKS_PER_WORKER))
     base, extra = divmod(count, target)
     chunks = []
@@ -31,12 +31,15 @@ def _chunks(count: int, seed: int, jobs: int, max_instructions: int,
         size = base + (1 if index < extra else 0)
         if size == 0:
             continue
-        chunks.append({
+        chunk = {
             "seed": next_seed,
             "count": size,
             "max_instructions": max_instructions,
             "check_pipeline": check_pipeline,
-        })
+        }
+        if machine is not None:
+            chunk["machine"] = machine
+        chunks.append(chunk)
         next_seed += size
     return chunks
 
@@ -60,17 +63,22 @@ def run_parallel_fuzz(
     jobs: int = 1,
     max_instructions: int = 200_000,
     check_pipeline: bool = True,
+    machine: Optional[str] = None,
 ) -> FuzzReport:
     """Fuzz ``count`` seeds starting at ``seed`` across ``jobs`` processes.
 
     ``jobs <= 1`` falls back to the serial harness; the merged parallel
     report covers the identical seed set ``seed .. seed+count-1``.
+    ``machine`` selects the microarchitecture config every engine in the
+    differential harness is built with (default: the paper machine).
     """
     if jobs <= 1 or count <= 1:
         return fuzz(count=count, seed=seed,
                     max_instructions=max_instructions,
-                    check_pipeline=check_pipeline)
-    chunks = _chunks(count, seed, jobs, max_instructions, check_pipeline)
+                    check_pipeline=check_pipeline,
+                    machine=machine)
+    chunks = _chunks(count, seed, jobs, max_instructions, check_pipeline,
+                     machine)
     with multiprocessing.Pool(processes=jobs) as pool:
         reports = pool.map(execute_fuzz_chunk, chunks)
     return _merge(reports)

@@ -19,6 +19,7 @@ from typing import Dict, Iterable, List, Mapping, Tuple
 
 from repro.framework.hwflow import SIMULATION_ENGINES
 from repro.framework.swflow import frozen_params as _frozen_params
+from repro.sim.machine import DEFAULT_MACHINE_NAME, MACHINES, machine_names
 from repro.workloads import all_workloads
 
 #: Default per-job cycle budget (matches ``HardwareFramework.simulate``).
@@ -67,6 +68,7 @@ class SweepJob:
     optimize: bool
     params: Tuple[Tuple[str, object], ...] = ()
     max_cycles: int = DEFAULT_MAX_CYCLES
+    machine: str = DEFAULT_MACHINE_NAME
 
     @property
     def params_dict(self) -> Dict[str, object]:
@@ -75,18 +77,22 @@ class SweepJob:
 
     @property
     def job_id(self) -> str:
-        """Content-addressed identity: stable across runs and processes."""
-        blob = json.dumps(
-            {
-                "workload": self.workload,
-                "engine": self.engine,
-                "optimize": self.optimize,
-                "params": [[key, value] for key, value in self.params],
-                "max_cycles": self.max_cycles,
-            },
-            sort_keys=True,
-            separators=(",", ":"),
-        )
+        """Content-addressed identity: stable across runs and processes.
+
+        The ``machine`` key joins the identity blob only for non-default
+        machines, so every pre-machine-axis job id (including the blessed
+        baseline run under ``benchmarks/baseline/``) is unchanged.
+        """
+        blob_dict = {
+            "workload": self.workload,
+            "engine": self.engine,
+            "optimize": self.optimize,
+            "params": [[key, value] for key, value in self.params],
+            "max_cycles": self.max_cycles,
+        }
+        if self.machine != DEFAULT_MACHINE_NAME:
+            blob_dict["machine"] = self.machine
+        blob = json.dumps(blob_dict, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:12]
 
     @property
@@ -95,7 +101,10 @@ class SweepJob:
         params = ",".join(f"{key}={value}" for key, value in self.params)
         opt = "opt" if self.optimize else "noopt"
         suffix = f"[{params}]" if params else ""
-        return f"{self.workload}{suffix}/{self.engine}/{opt}"
+        label = f"{self.workload}{suffix}/{self.engine}/{opt}"
+        if self.machine != DEFAULT_MACHINE_NAME:
+            label += f"@{self.machine}"
+        return label
 
     def to_dict(self) -> dict:
         return {
@@ -104,6 +113,7 @@ class SweepJob:
             "optimize": self.optimize,
             "params": self.params_dict,
             "max_cycles": self.max_cycles,
+            "machine": self.machine,
         }
 
     @classmethod
@@ -114,6 +124,7 @@ class SweepJob:
             optimize=bool(data["optimize"]),
             params=_frozen_params(data.get("params")),  # type: ignore[arg-type]
             max_cycles=int(data.get("max_cycles", DEFAULT_MAX_CYCLES)),  # type: ignore[arg-type]
+            machine=str(data.get("machine", DEFAULT_MACHINE_NAME)),
         )
 
 
@@ -132,6 +143,7 @@ class SweepSpec:
     optimize: Tuple[bool, ...] = (True, False)
     params: Dict[str, List[Dict[str, object]]] = field(default_factory=dict)
     max_cycles: int = DEFAULT_MAX_CYCLES
+    machines: Tuple[str, ...] = (DEFAULT_MACHINE_NAME,)
 
     def validate(self) -> None:
         """Check the grid axes against the registries before expansion."""
@@ -147,6 +159,13 @@ class SweepSpec:
             raise SpecError("sweep needs at least one engine")
         if not self.optimize:
             raise SpecError("sweep needs at least one optimize setting")
+        if not self.machines:
+            raise SpecError("sweep needs at least one machine config")
+        for machine in self.machines:
+            if machine not in MACHINES:
+                raise SpecError(
+                    f"unknown machine config {machine!r}; "
+                    f"known: {list(machine_names())}")
         for name, variants in self.params.items():
             if name not in self.effective_workloads():
                 raise SpecError(
@@ -163,7 +182,9 @@ class SweepSpec:
         Baseline-core engines execute the *untranslated* RV-32 side, so the
         translator-optimize axis cannot change their results; they are
         collapsed to a single canonical ``optimize=True`` job per variant
-        instead of being run once per optimize setting.
+        instead of being run once per optimize setting.  The ART-9 machine
+        config cannot change them either (they are not ART-9 cores), so the
+        machine axis collapses to the default for them the same way.
         """
         self.validate()
         jobs: List[SweepJob] = []
@@ -172,16 +193,20 @@ class SweepSpec:
             variants = _normalize_variants(workload, raw) if raw else [{}]
             for variant in variants:
                 for engine in self.engines:
-                    optimize_axis = ((True,) if engine in BASELINE_ENGINES
-                                     else self.optimize)
+                    baseline = engine in BASELINE_ENGINES
+                    optimize_axis = (True,) if baseline else self.optimize
+                    machine_axis = ((DEFAULT_MACHINE_NAME,) if baseline
+                                    else self.machines)
                     for optimize in optimize_axis:
-                        jobs.append(SweepJob(
-                            workload=workload,
-                            engine=engine,
-                            optimize=optimize,
-                            params=_frozen_params(variant),
-                            max_cycles=self.max_cycles,
-                        ))
+                        for machine in machine_axis:
+                            jobs.append(SweepJob(
+                                workload=workload,
+                                engine=engine,
+                                optimize=optimize,
+                                params=_frozen_params(variant),
+                                max_cycles=self.max_cycles,
+                                machine=machine,
+                            ))
         return jobs
 
     # -- serialisation ------------------------------------------------------
@@ -196,6 +221,7 @@ class SweepSpec:
                 for name, variants in self.params.items()
             },
             "max_cycles": self.max_cycles,
+            "machines": list(self.machines),
         }
 
     @classmethod
@@ -210,6 +236,7 @@ class SweepSpec:
                 for name, variants in dict(data.get("params", {})).items()  # type: ignore[arg-type]
             },
             max_cycles=int(data.get("max_cycles", DEFAULT_MAX_CYCLES)),  # type: ignore[arg-type]
+            machines=tuple(data.get("machines", (DEFAULT_MACHINE_NAME,))),  # type: ignore[arg-type]
         )
 
     @classmethod
@@ -228,7 +255,7 @@ DEFAULT_GRID_PARAMS: Dict[str, List[Dict[str, object]]] = {
 }
 
 #: Named preset grids accepted by ``art9 sweep --preset`` / ``art9 serve``.
-SWEEP_PRESETS = ("default", "paper", "smoke")
+SWEEP_PRESETS = ("default", "paper", "smoke", "machines")
 
 
 def preset_spec(name: str) -> SweepSpec:
@@ -241,7 +268,10 @@ def preset_spec(name: str) -> SweepSpec:
       engines (fast, pipeline and the three baseline cores), optimize on:
       the cross-ISA grid the report subsystem and the blessed baseline run
       in ``benchmarks/baseline/`` are built from;
-    * ``"smoke"`` — a two-workload, eight-job grid for CI smoke tests.
+    * ``"smoke"`` — a two-workload, eight-job grid for CI smoke tests;
+    * ``"machines"`` — the design-space corner grid: two workloads on all
+      three ART-9 engines across the default machine and the three
+      non-trivial built-in corners, optimize on.
     """
     if name == "default":
         return SweepSpec(
@@ -253,4 +283,12 @@ def preset_spec(name: str) -> SweepSpec:
         return SweepSpec(
             workloads=("bubble_sort", "gemm"),
             params={"bubble_sort": [{"length": 8}], "gemm": [{"n": 2}]})
+    if name == "machines":
+        return SweepSpec(
+            workloads=("bubble_sort", "gemm"),
+            engines=tuple(SIMULATION_ENGINES),
+            optimize=(True,),
+            machines=(DEFAULT_MACHINE_NAME, "btfn4", "predictnt",
+                      "slowfetch5"),
+        )
     raise SpecError(f"unknown sweep preset {name!r}; known: {list(SWEEP_PRESETS)}")

@@ -28,6 +28,7 @@ from repro.framework.hwflow import HardwareFramework
 from repro.framework.swflow import SoftwareFramework, WorkloadKey, workload_key
 from repro.riscv.simulator import RVSimulator
 from repro.runner.spec import BASELINE_ENGINES, SweepJob
+from repro.sim.machine import DEFAULT_MACHINE_NAME
 from repro.sim.trace import state_digest
 from repro.testing import FuzzReport, GeneratorConfig
 from repro.testing import fuzz as run_fuzz
@@ -36,7 +37,7 @@ from repro.workloads.base import Workload
 
 #: Per-process framework caches (populated lazily; survive across jobs).
 _SOFTWARE: Dict[bool, SoftwareFramework] = {}
-_HARDWARE: Dict[str, HardwareFramework] = {}
+_HARDWARE: Dict[Tuple[str, str], HardwareFramework] = {}
 _WORKLOADS: Dict[WorkloadKey, Workload] = {}
 
 
@@ -47,10 +48,12 @@ def _software(optimize: bool) -> SoftwareFramework:
     return framework
 
 
-def _hardware(engine: str) -> HardwareFramework:
-    framework = _HARDWARE.get(engine)
+def _hardware(engine: str, machine: str = DEFAULT_MACHINE_NAME) -> HardwareFramework:
+    key = (engine, machine)
+    framework = _HARDWARE.get(key)
     if framework is None:
-        framework = _HARDWARE[engine] = HardwareFramework(engine=engine)
+        framework = _HARDWARE[key] = HardwareFramework(
+            engine=engine, machine=machine)
     return framework
 
 
@@ -85,6 +88,7 @@ def execute_job(job: SweepJob) -> dict:
         "optimize": job.optimize,
         "params": job.params_dict,
         "max_cycles": job.max_cycles,
+        "machine": job.machine,
         "status": "ok",
         "worker_pid": os.getpid(),
     }
@@ -112,7 +116,7 @@ def _execute_art9(job: SweepJob) -> dict:
     """
     program, report, workload = _software(job.optimize).compile_named_workload_cached(
         job.workload, job.params_dict)
-    stats, registers, memory = _hardware(job.engine).simulate_with_state(
+    stats, registers, memory = _hardware(job.engine, job.machine).simulate_with_state(
         program, max_cycles=job.max_cycles, engine=job.engine)
     actual = [
         memory.get(workload.result_base + 4 * index, 0)
@@ -179,8 +183,8 @@ def execute_fuzz_chunk(chunk: dict) -> FuzzReport:
     """Run one contiguous seed range of a differential fuzzing session.
 
     ``chunk`` is a plain dict (``seed``, ``count``, ``max_instructions``,
-    ``check_pipeline``) so the parallel fuzz front end can ship work to the
-    same process pool the sweeps use.
+    ``check_pipeline``, optional ``machine``) so the parallel fuzz front end
+    can ship work to the same process pool the sweeps use.
     """
     return run_fuzz(
         count=int(chunk["count"]),
@@ -188,6 +192,7 @@ def execute_fuzz_chunk(chunk: dict) -> FuzzReport:
         config=GeneratorConfig(),
         max_instructions=int(chunk.get("max_instructions", 200_000)),
         check_pipeline=bool(chunk.get("check_pipeline", True)),
+        machine=chunk.get("machine"),
     )
 
 

@@ -32,6 +32,7 @@ from typing import Dict, List, Mapping, Optional
 
 from repro.runner.compare import CompareReport, compare_record_maps
 from repro.runner.store import RunStore, StoreError, canonical_record
+from repro.sim.machine import DEFAULT_MACHINE_NAME
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS runs (
@@ -48,6 +49,7 @@ CREATE TABLE IF NOT EXISTS results (
     engine      TEXT NOT NULL,
     optimize    INTEGER NOT NULL,
     params_json TEXT NOT NULL,
+    machine     TEXT NOT NULL DEFAULT 'paper3stage',
     status      TEXT NOT NULL,
     verified    INTEGER NOT NULL,
     cycles      INTEGER,
@@ -94,6 +96,24 @@ class ResultsDB:
         self._conn = sqlite3.connect(path)
         self._conn.row_factory = sqlite3.Row
         self._conn.executescript(_SCHEMA)
+        self._migrate()
+
+    def _migrate(self) -> None:
+        """Bring pre-machine-column databases up to the current schema.
+
+        ``CREATE TABLE IF NOT EXISTS`` leaves an existing ``results`` table
+        untouched, so databases written before the machine axis existed
+        lack the column; every record in them was a default-machine run.
+        """
+        columns = {
+            row["name"]
+            for row in self._conn.execute("PRAGMA table_info(results)")
+        }
+        if "machine" not in columns:
+            self._conn.execute(
+                "ALTER TABLE results ADD COLUMN machine TEXT NOT NULL "
+                f"DEFAULT '{DEFAULT_MACHINE_NAME}'")
+            self._conn.commit()
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -148,14 +168,16 @@ class ResultsDB:
                 duplicates += 1
             cursor.execute(
                 "INSERT INTO results (run_id, job_id, workload, engine, "
-                "optimize, params_json, status, verified, cycles, cpi, "
-                "canonical, record_json) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                "optimize, params_json, machine, status, verified, cycles, "
+                "cpi, canonical, record_json) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 (run_id,
                  record["job_id"],
                  str(record.get("workload", "")),
                  str(record.get("engine", "")),
                  1 if record.get("optimize") else 0,
                  _params_json(record.get("params")),
+                 str(record.get("machine", DEFAULT_MACHINE_NAME)),
                  str(record.get("status", "")),
                  1 if record.get("verified") else 0,
                  record.get("cycles"),
@@ -181,6 +203,7 @@ class ResultsDB:
         engine: Optional[str] = None,
         optimize: Optional[bool] = None,
         params: Optional[Mapping[str, object]] = None,
+        machine: Optional[str] = None,
         status: Optional[str] = None,
         run_root: Optional[str] = None,
         latest_only: bool = False,
@@ -188,9 +211,10 @@ class ResultsDB:
         """Records matching the given grid-axis filters.
 
         ``params`` matches the exact parameter dict of the job (``{}``
-        selects default-parameter instances).  ``latest_only`` keeps, for
-        every content-addressed job ID, only the record from the most
-        recently ingested run — the deduplicated "current state of the
+        selects default-parameter instances); ``machine`` matches the
+        microarchitecture-config name the job ran under.  ``latest_only``
+        keeps, for every content-addressed job ID, only the record from the
+        most recently ingested run — the deduplicated "current state of the
         grid" view.
         """
         clauses, values = [], []
@@ -206,6 +230,9 @@ class ResultsDB:
         if params is not None:
             clauses.append("params_json = ?")
             values.append(_params_json(params))
+        if machine is not None:
+            clauses.append("machine = ?")
+            values.append(machine)
         if status is not None:
             clauses.append("status = ?")
             values.append(status)

@@ -39,6 +39,16 @@ live in their own modules so that both simulators — and the gate-level
 analyzer, which counts their hardware resources — agree on the semantics.
 """
 
+from repro.sim.machine import (
+    BRANCH_POLICIES,
+    DEFAULT_MACHINE_NAME,
+    MACHINES,
+    MachineConfig,
+    MachineError,
+    get_machine,
+    machine_names,
+    resolve_machine,
+)
 from repro.sim.memory import MemoryError_, TernaryMemory
 from repro.sim.regfile import TernaryRegisterFile
 from repro.sim.alu import ALUResult, TernaryALU
@@ -49,6 +59,14 @@ from repro.sim.compiled import CompiledEngine, compile_and_run
 from repro.sim.trace import capture_golden_trace, memory_digest, state_digest, trace_mismatches
 
 __all__ = [
+    "MachineConfig",
+    "MachineError",
+    "BRANCH_POLICIES",
+    "DEFAULT_MACHINE_NAME",
+    "MACHINES",
+    "get_machine",
+    "machine_names",
+    "resolve_machine",
     "TernaryMemory",
     "MemoryError_",
     "TernaryRegisterFile",

@@ -54,11 +54,14 @@ faulting instruction, committed-instruction count) restored to match the
 fast engine.
 
 Generated sources are deterministic functions of (program content,
-codegen version, timing mode, TDM depth), which is what lets the
-cross-process artifact cache (:mod:`repro.cache`) ship them between
-sweep workers: ``CompiledEngine`` asks the cache for the block sources
-before generating, so codegen happens once per grid point across a whole
-worker fleet.
+codegen version, timing mode, TDM depth, machine-config parameter
+digest), which is what lets the cross-process artifact cache
+(:mod:`repro.cache`) ship them between sweep workers: ``CompiledEngine``
+asks the cache for the block sources before generating, so codegen
+happens once per grid point across a whole worker fleet.  The machine
+digest is part of the key in *both* timing modes, so artifacts never
+cross machine configs even though untimed codegen happens to be
+config-independent today.
 """
 
 from __future__ import annotations
@@ -110,12 +113,13 @@ from repro.sim.engine import (
     wrap,
 )
 from repro.sim.functional import ExecutionResult, SimulationError
+from repro.sim.machine import MachineConfig, resolve_machine
 from repro.sim.memory import MemoryError_
 from repro.sim.pipeline.stats import PipelineStats
 
 #: Bumped whenever the shape of the generated code changes; part of the
 #: artifact-cache key so stale cached sources can never be executed.
-CODEGEN_VERSION = 1
+CODEGEN_VERSION = 2
 
 #: Interpreter identity for the marshalled code objects stored alongside
 #: the sources: ``marshal`` payloads are only valid for the exact bytecode
@@ -145,7 +149,7 @@ _TERMINALS = frozenset((OP_BEQ, OP_BNE, OP_JAL, OP_JALR, OP_HALT))
 #   [4] jumps                  [5] EX forwards
 #   [6] MEM forwards           [7] ID forwards
 #   [8] p1 dest (-1 none)      [9] p1 is-load
-#   [10] p1 is-ALU-writer      [11] p1 taken-control
+#   [10] p1 is-ALU-writer      [11] p1 pending redirect gap (0 or R)
 #   [12] previous gap          [13] p2 dest (-1 none)
 #   [14] first-commit flag
 #   [15] fault pc              [16] fault offset in block
@@ -199,15 +203,19 @@ class _Attrs:
         self.alu = self.op in _WRITERS and self.op != OP_LOAD
 
 
-def _static_gap(prev: _Attrs, cur: _Attrs) -> int:
+def _static_gap(prev: _Attrs, cur: _Attrs, machine: MachineConfig) -> int:
     """Load-use gap between two adjacent in-block instructions.
 
-    Interior predecessors are never taken control transfers (blocks end at
-    those), so the only possible bubble is the one-cycle load-use stall.
+    Interior predecessors are never control transfers (blocks end at
+    those), so the only possible bubble is the one-cycle load-use stall —
+    waived for EX-path consumers when the machine has the zero-penalty
+    MEM-output bypass (ID-path consumers always stall).
     """
     if prev.load and ((cur.reads_ta and cur.ta == prev.dest)
                       or (cur.reads_tb and cur.tb == prev.dest)):
-        return 1
+        if machine.load_use_penalty >= 1 or (cur.id_reads
+                                             and cur.tb == prev.dest):
+            return 1
     return 0
 
 
@@ -230,12 +238,18 @@ def generate_block_source(
     records: Sequence[tuple],
     timing: bool,
     tdm_depth: int,
+    machine: Optional[MachineConfig] = None,
 ) -> str:
     """Emit the Python source of one superblock function.
 
     The function is named ``_blk_<entry>`` (``_blk_<entry>_t`` for the
     timing variant) and has the signature ``(regs, mem, st) -> next_pc``.
+    The machine config's constants — redirect penalty, branch-policy
+    prediction, load-use bypass — are folded into the emitted timing code.
     """
+    machine = resolve_machine(machine)
+    redirect = machine.redirect_penalty
+    bypass = machine.load_use_penalty == 0
     recs = [_Attrs(records[pc]) for pc in span]
     n = len(recs)
     last = recs[-1]
@@ -303,12 +317,26 @@ def generate_block_source(
                     else:
                         s_id += 1
                     return
+                # Zero-penalty machines bypass a fresh load value into EX in
+                # the same cycle; this is a MEM forward (the ID path never
+                # gets here: its consumers force the stall instead).
+                if (bypass and isinstance(gap_expr, int) and gap_expr == 0
+                        and p1.load and p1.dest == reg
+                        and stat_bucket == "ex"):
+                    s_mem += 1
+                    return
             if ex_cond is not None:
                 w.emit(f"if {ex_cond}:")
                 w.emit(f"st[{5 if stat_bucket == 'ex' else 7}] += 1", 2)
                 prefix_elif = True
             else:
                 prefix_elif = False
+            if (bypass and p1 is None and stat_bucket == "ex"
+                    and not isinstance(gap_expr, int)):
+                w.emit(f"{'elif' if prefix_elif else 'if'} {gap_expr} == 0 "
+                       f"and st[9] and st[8] == {reg}:")
+                w.emit("st[6] += 1", 2)
+                prefix_elif = True
             # MEM/WB forward from two slots back.
             if isinstance(wb_expr, int):
                 if wb_expr >= 0 and wb_expr == reg:
@@ -333,34 +361,42 @@ def generate_block_source(
         nonlocal s_stall
         cur = recs[k]
         if k == 0:
-            # Fully dynamic: hazards against the carried window.
+            # Fully dynamic: hazards against the carried window.  st[11] is
+            # the redirect gap pended by the previous block's terminal
+            # (0 or the machine's redirect penalty).
             w.emit("_g0 = 0")
             w.emit("if st[14]:")
             w.emit("st[14] = 0", 2)
             w.emit("elif st[11]:")
-            w.emit("_g0 = 1", 2)
-            w.emit("st[1] += 1", 2)
+            w.emit("_g0 = st[11]", 2)
+            w.emit("st[1] += st[11]", 2)
             read_regs = []
-            if cur.reads_ta:
-                read_regs.append(cur.ta)
-            if cur.reads_tb and cur.tb not in read_regs:
-                read_regs.append(cur.tb)
+            if bypass:
+                # Only ID-path consumers stall on this machine; EX-path
+                # consumers take the same-cycle MEM-output bypass instead.
+                if cur.id_reads:
+                    read_regs.append(cur.tb)
+            else:
+                if cur.reads_ta:
+                    read_regs.append(cur.ta)
+                if cur.reads_tb and cur.tb not in read_regs:
+                    read_regs.append(cur.tb)
             if read_regs:
                 cond = " or ".join(f"st[8] == {reg}" for reg in read_regs)
                 w.emit(f"elif st[9] and ({cond}):")
                 w.emit("_g0 = 1", 2)
                 w.emit("st[0] += 1", 2)
             if cur.reads_ta or cur.reads_tb or cur.id_reads:
-                w.emit("if _g0:")
+                w.emit("if _g0 == 1:")
                 w.emit("_wb = st[8]", 2)
-                w.emit("elif st[12] == 0:")
+                w.emit("elif _g0 == 0 and st[12] == 0:")
                 w.emit("_wb = st[13]", 2)
                 w.emit("else:")
                 w.emit("_wb = -1", 2)
                 emit_forward_checks(cur, "_g0", None, "_wb")
             return
         prev = recs[k - 1]
-        gap = _static_gap(prev, cur)
+        gap = _static_gap(prev, cur, machine)
         s_stall += gap
         if k == 1:
             # gap and the EX-forward source are static; the MEM/WB slot may
@@ -372,7 +408,7 @@ def generate_block_source(
                 wb_expr = "(_e8 if _g0 == 0 else -1)"
                 emit_forward_checks(cur, gap, prev, wb_expr)
             return
-        gap_prev = _static_gap(recs[k - 2], prev)
+        gap_prev = _static_gap(recs[k - 2], prev, machine)
         if gap == 1:
             wb = prev.dest
         elif gap_prev == 0:
@@ -539,14 +575,22 @@ def generate_block_source(
         w.emit(f"st[8] = {last.dest}")
         w.emit(f"st[9] = {1 if last.load else 0}")
         w.emit(f"st[10] = {1 if last.alu else 0}")
-        if last.op in (OP_JAL, OP_JALR):
-            w.emit("st[11] = 1")
-        elif last.op in (OP_BEQ, OP_BNE):
-            w.emit("st[11] = 1 if _tk else 0")
+        # Pend the redirect gap for the next block's first instruction.
+        # Folded JALs and correctly-predicted conditionals cost nothing;
+        # JALR is indirect and always redirects.
+        if last.op == OP_JALR or (last.op == OP_JAL and not machine.folds_jal):
+            w.emit(f"st[11] = {redirect}")
+        elif last.op in (OP_BEQ, OP_BNE) and redirect:
+            predicted_taken = machine.predicts_taken(
+                "BEQ" if last.op == OP_BEQ else "BNE", last.imm)
+            if predicted_taken:
+                w.emit(f"st[11] = 0 if _tk else {redirect}")
+            else:
+                w.emit(f"st[11] = {redirect} if _tk else 0")
         else:
             w.emit("st[11] = 0")
         if n >= 2:
-            w.emit(f"st[12] = {_static_gap(recs[-2], last)}")
+            w.emit(f"st[12] = {_static_gap(recs[-2], last, machine)}")
         else:
             w.emit("st[12] = _g0")
 
@@ -577,10 +621,12 @@ class CompiledEngine:
     """
 
     def __init__(self, program: Program, tdm_depth: int = MOD,
-                 cache: object = "default"):
+                 cache: object = "default",
+                 machine: Optional[MachineConfig] = None):
         _fast._build_tables()
         self.program = program
         self.tdm_depth = tdm_depth
+        self.machine = resolve_machine(machine)
         self._records = FastEngine._predecode(program)
         self._mem: Dict[int, int] = {}
         for segment in program.data:
@@ -632,6 +678,10 @@ class CompiledEngine:
             "python": PYTHON_TAG,
             "timing": timing,
             "tdm_depth": self.tdm_depth,
+            # Keyed in both timing modes so artifacts never cross machine
+            # configs (a config change is a cache miss, never a wrong-
+            # timing hit).
+            "machine": self.machine.digest(),
         }
 
     def _publish(self, codes: Dict[int, object],
@@ -658,7 +708,7 @@ class CompiledEngine:
         when the disk cache has to be consulted.
         """
         memo_key = (tuple(self._records), CODEGEN_VERSION, timing,
-                    self.tdm_depth)
+                    self.tdm_depth, self.machine.digest())
         bundle = _CODE_MEMO.get(memo_key)
         if bundle is not None:
             _CODE_MEMO.move_to_end(memo_key)
@@ -681,7 +731,7 @@ class CompiledEngine:
                 entry: generate_block_source(
                     entry,
                     superblock_span(self._records, self._leaders, entry),
-                    self._records, timing, self.tdm_depth)
+                    self._records, timing, self.tdm_depth, self.machine)
                 for entry in sorted(self._leaders)
             }
             codes = {
@@ -734,7 +784,7 @@ class CompiledEngine:
             return self._install_block(entry, bundle[0][entry], timing)
         source = generate_block_source(
             entry, superblock_span(self._records, self._leaders, entry),
-            self._records, timing, self.tdm_depth)
+            self._records, timing, self.tdm_depth, self.machine)
         code = compile(source, f"<art9 block {entry}>", "exec")
         if bundle is not None:
             codes, sources = bundle
@@ -848,7 +898,7 @@ class CompiledEngine:
 
         if timing:
             stats.instructions_committed = executed
-            stats.cycles = executed + 4 + st[0] + st[1]
+            stats.cycles = executed + self.machine.fill_cycles + st[0] + st[1]
             stats.load_use_stalls = st[0]
             stats.control_flush_bubbles = st[1]
             stats.taken_branches = st[2]

@@ -43,6 +43,7 @@ from repro.isa.formats import imm_range
 from repro.isa.program import Program
 from repro.isa.registers import NUM_REGISTERS, register_name
 from repro.sim.functional import ExecutionResult, SimulationError
+from repro.sim.machine import MachineConfig, resolve_machine
 from repro.sim.memory import MemoryError_
 from repro.sim.pipeline.stats import PipelineStats
 from repro.ternary.word import WORD_TRITS
@@ -184,10 +185,12 @@ class FastEngine:
     fail fast rather than corrupting the integer state.
     """
 
-    def __init__(self, program: Program, tdm_depth: int = MOD):
+    def __init__(self, program: Program, tdm_depth: int = MOD,
+                 machine: Optional[MachineConfig] = None):
         _build_tables()
         self.program = program
         self.tdm_depth = tdm_depth
+        self.machine = resolve_machine(machine)
         self._records = self._predecode(program)
         self._mem: Dict[int, int] = {}
         for segment in program.data:
@@ -279,16 +282,25 @@ class FastEngine:
 
         # Analytic pipeline timing (only when ``timing`` is a stats object):
         # a rolling two-instruction window over the committed stream is all
-        # the 5-stage pipe's stall/forwarding behaviour depends on, so the
-        # model is O(1) in memory and single-pass.  p1_* describe I_{k-1},
-        # p2_dest describes I_{k-2}; gap_prev is the bubble count between
-        # them (the pipeline never inserts more than one).
+        # the pipe's stall/forwarding behaviour depends on, so the model is
+        # O(1) in memory and single-pass.  p1_* describe I_{k-1}, p2_dest
+        # describes I_{k-2}; gap_prev is the bubble count between them.  The
+        # machine config contributes only constants: the pipe fill, the
+        # per-redirect penalty, which transfers redirect under the branch
+        # policy, and whether adjacent load consumers stall or bypass.
         model_timing = timing is not None
+        machine = self.machine
+        fill = machine.fill_cycles
+        redirect_penalty = machine.redirect_penalty
+        load_penalty = machine.load_use_penalty
+        btfn = machine.branch_policy == "static-btfn"
+        jal_redirects = not machine.folds_jal
         stalls = flushes = 0
         taken_branches = not_taken = jumps = 0
         ex_forwards = mem_forwards = id_forwards = 0
         p1_dest = p2_dest = -1
-        p1_load = p1_alu = p1_taken_control = False
+        p1_load = p1_alu = False
+        p1_redirect_gap = 0
         gap_prev = 0
         first_commit = True
 
@@ -314,35 +326,48 @@ class FastEngine:
                 gap = 0
                 if first_commit:
                     first_commit = False
-                elif p1_taken_control:
-                    gap = 1
-                    flushes += 1
+                elif p1_redirect_gap:
+                    gap = p1_redirect_gap
+                    flushes += p1_redirect_gap
                 elif p1_load and p1_dest >= 0 and (
                     (reads_ta and ta == p1_dest) or (reads_tb and tb == p1_dest)
                 ):
-                    gap = 1
-                    stalls += 1
+                    # EX-path consumers bypass the fresh MEM output when the
+                    # config waives the penalty; ID-path consumers (branch
+                    # condition / JALR base) read a stage earlier and always
+                    # stall one bubble.
+                    if load_penalty or (id_reads and tb == p1_dest):
+                        gap = 1
+                        stalls += 1
 
                 # Occupant of the MEM/WB slot two stages ahead (the same
                 # instruction feeds the EX-stage MEM/WB mux and the ID-stage
                 # memory-output path): I_{k-1} when one bubble separates
-                # them, I_{k-2} when both gaps are empty.
+                # them, I_{k-2} when both gaps are empty, nobody when the
+                # gap is a multi-bubble redirect shadow.
                 if gap == 1:
                     wb_dest = p1_dest
-                elif gap_prev == 0:
+                elif gap == 0 and gap_prev == 0:
                     wb_dest = p2_dest
                 else:
                     wb_dest = -1
 
                 # EX-stage forwarding events (one per matched operand read).
+                # The middle branch is the zero-penalty load bypass: a fresh
+                # MEM output feeding EX in the same cycle (unreachable when
+                # the config charges a load-use bubble).
                 if reads_ta:
                     if gap == 0 and p1_alu and p1_dest == ta:
                         ex_forwards += 1
+                    elif gap == 0 and p1_load and p1_dest == ta:
+                        mem_forwards += 1
                     elif wb_dest >= 0 and wb_dest == ta:
                         mem_forwards += 1
                 if reads_tb:
                     if gap == 0 and p1_alu and p1_dest == tb:
                         ex_forwards += 1
+                    elif gap == 0 and p1_load and p1_dest == tb:
+                        mem_forwards += 1
                     elif wb_dest >= 0 and wb_dest == tb:
                         mem_forwards += 1
 
@@ -480,12 +505,20 @@ class FastEngine:
                         taken_branches += 1
                     else:
                         not_taken += 1
-                    p1_taken_control = branch_was_taken
+                    if btfn:
+                        # Static BTFN predicts backward branches taken.
+                        mispredicted = branch_was_taken != (imm <= 0)
+                    else:
+                        mispredicted = branch_was_taken
+                    p1_redirect_gap = redirect_penalty if mispredicted else 0
                 elif op == OP_JAL or op == OP_JALR:
                     jumps += 1
-                    p1_taken_control = True
+                    if op == OP_JALR or jal_redirects:
+                        p1_redirect_gap = redirect_penalty
+                    else:
+                        p1_redirect_gap = 0
                 else:
-                    p1_taken_control = False
+                    p1_redirect_gap = 0
                 p2_dest = p1_dest
                 if op in _WRITERS:
                     p1_dest = ta
@@ -503,7 +536,7 @@ class FastEngine:
 
         if model_timing:
             timing.instructions_committed = executed
-            timing.cycles = executed + 4 + stalls + flushes
+            timing.cycles = executed + fill + stalls + flushes
             timing.load_use_stalls = stalls
             timing.control_flush_bubbles = flushes
             timing.taken_branches = taken_branches
@@ -517,15 +550,18 @@ class FastEngine:
     # -- analytic pipeline timing -------------------------------------------
 
     def run_with_stats(self, max_cycles: int = 50_000_000) -> PipelineStats:
-        """Execute and return pipeline statistics identical to the 5-stage model.
+        """Execute and return pipeline statistics identical to the pipeline model.
 
         The ART-9 pipeline commits exactly one instruction per cycle except
-        for the two hardware stall sources (Sec. IV-B): a one-bubble load-use
-        stall and a one-bubble flush behind every taken branch or jump, plus
-        the constant four-cycle fill of the 5-stage pipe.  Both stall sources
-        and all forwarding events are determined by adjacency in the dynamic
-        instruction stream, so the model runs single-pass inside the
-        execution loop with a constant-size rolling window.
+        for the two hardware stall sources (Sec. IV-B): a load-use stall and
+        a flush shadow behind every front-end redirect, plus the machine
+        config's constant pipe fill.  Under the default ``paper3stage``
+        config these are one bubble per adjacent load consumer, one bubble
+        per taken control transfer and a four-cycle fill — the paper's
+        numbers.  Both stall sources and all forwarding events are
+        determined by adjacency in the dynamic instruction stream, so the
+        model runs single-pass inside the execution loop with a
+        constant-size rolling window for any :class:`MachineConfig`.
         """
         if not self.program.instructions:
             raise SimulationError("cannot simulate an empty program")

@@ -19,6 +19,20 @@ cycle, which reproduces the behaviour of the real pipeline:
 The only hardware-inserted stall cycles are load-use hazards (one bubble)
 and taken branches/jumps (one flushed fetch), matching the statement in
 Sec. IV-B that those are the only observed stall sources.
+
+Machine configs
+---------------
+
+The structural wiring above is parameterized by a
+:class:`~repro.sim.machine.MachineConfig`: the retire stage (pipeline
+depth), the fetch-steering predictor and redirect penalty (branch policy
+and penalties), the initial fetch refill (I-fetch latency) and whether an
+adjacent load consumer stalls or takes a same-cycle MEM-output bypass
+(load-use penalty).  The default ``paper3stage`` config reproduces the
+behaviour described above exactly.  At depths below 5 instructions still
+traverse all five structural stages; they merely *retire* (count as
+committed, and stop the clock on HALT) at the configured stage, with the
+remaining stages drained outside the cycle count.
 """
 
 from __future__ import annotations
@@ -32,6 +46,7 @@ from repro.sim.functional import SimulationError
 from repro.sim.memory import TernaryMemory
 from repro.sim.pipeline.branch import BranchUnit
 from repro.sim.pipeline.forwarding import ForwardingUnit
+from repro.sim.machine import MachineConfig, resolve_machine
 from repro.sim.pipeline.hazards import HazardDetectionUnit
 from repro.sim.pipeline.stages import DecodeLatch, ExecuteLatch, FetchLatch, MemoryLatch
 from repro.sim.pipeline.stats import PipelineStats
@@ -42,20 +57,28 @@ from repro.ternary.word import WORD_TRITS, TernaryWord
 class PipelineSimulator:
     """Cycle-accurate simulator of the pipelined ART-9 core."""
 
-    def __init__(self, program: Program, tdm_depth: int = 3 ** WORD_TRITS):
+    def __init__(self, program: Program, tdm_depth: int = 3 ** WORD_TRITS,
+                 machine: Optional[MachineConfig] = None):
         self.program = program
+        self.machine = resolve_machine(machine)
         self.registers = TernaryRegisterFile()
         self.tim_words = program.encode()  # validates that the program encodes
         self.tdm = TernaryMemory(depth=tdm_depth, name="TDM")
         self.alu = TernaryALU()
-        self.hdu = HazardDetectionUnit()
+        self.hdu = HazardDetectionUnit(
+            load_use_penalty=self.machine.load_use_penalty)
         self.forwarding = ForwardingUnit()
         self.branch_unit = BranchUnit()
         self.stats = PipelineStats()
+        #: Stage (1=IF .. 5=WB) at which instructions count as committed.
+        self.retire_stage = self.machine.depth
 
         self.pc = 0
         self.halted = False
         self._draining = False
+        # Pipelined I-fetch refill: bubbles still owed before the next fetch
+        # can deliver (initial fill, and redirect_penalty after a redirect).
+        self._fetch_bubbles = self.machine.fetch_latency
 
         self.if_id = FetchLatch.bubble()
         self.id_ex = DecodeLatch.bubble()
@@ -72,10 +95,19 @@ class PipelineSimulator:
         latch = self.mem_wb
         if not latch.valid:
             return
-        instruction = latch.instruction
         destination = latch.destination
         if destination is not None and latch.writeback_value is not None:
             self.registers.write(destination, latch.writeback_value)
+        if self.retire_stage == 5:
+            self._retire(latch.instruction)
+
+    def _retire(self, instruction: Instruction) -> None:
+        """Commit accounting at the configured retire stage.
+
+        Register/memory side effects always happen in their structural
+        stages; this hook only decides *when* an instruction counts as
+        committed and when HALT stops the cycle counter.
+        """
         self.stats.instructions_committed += 1
         self.stats.instruction_mix[instruction.mnemonic] = (
             self.stats.instruction_mix.get(instruction.mnemonic, 0) + 1
@@ -102,8 +134,13 @@ class PipelineSimulator:
             writeback_value=writeback_value,
         )
 
-    def _execute(self) -> ExecuteLatch:
-        """EX: run the TALU (with forwarding) or compute the memory address."""
+    def _execute(self, mem_output: Optional[MemoryLatch] = None) -> ExecuteLatch:
+        """EX: run the TALU (with forwarding) or compute the memory address.
+
+        ``mem_output`` is the MEM result produced this cycle; it is passed
+        only on machines whose load-use penalty is 0, where it feeds the
+        same-cycle load bypass in the forwarding unit.
+        """
         latch = self.id_ex
         if not latch.valid:
             return ExecuteLatch.bubble()
@@ -114,11 +151,11 @@ class PipelineSimulator:
         operand_b = latch.operand_b
         if spec.reads_ta:
             operand_a = self.forwarding.forward_operand(
-                instruction.ta, operand_a, self.ex_mem, self.mem_wb
+                instruction.ta, operand_a, self.ex_mem, self.mem_wb, mem_output
             )
         if spec.reads_tb:
             operand_b = self.forwarding.forward_operand(
-                instruction.tb, operand_b, self.ex_mem, self.mem_wb
+                instruction.tb, operand_b, self.ex_mem, self.mem_wb, mem_output
             )
 
         alu_result: Optional[TernaryWord] = None
@@ -177,8 +214,20 @@ class PipelineSimulator:
                     instruction.tb, self.registers, ex_output, mem_output
                 )
             outcome = self.branch_unit.evaluate(instruction, latch.pc, tb_value)
-            if outcome.taken:
-                redirect_target = outcome.target
+            # The front end already steered fetch by the static prediction;
+            # redirect only on a mispredict.  JALR is indirect, so its
+            # target is never known at fetch time and it always redirects
+            # (even when the computed target happens to equal PC + 1).
+            if instruction.mnemonic == "JALR":
+                mispredicted = True
+            elif instruction.mnemonic == "JAL":
+                mispredicted = not self.machine.folds_jal
+            else:
+                mispredicted = outcome.taken != self.machine.predicts_taken(
+                    instruction.mnemonic, instruction.imm)
+            if mispredicted:
+                redirect_target = (
+                    outcome.target if outcome.taken else latch.pc + 1)
             link_value = outcome.link_value
         elif instruction.mnemonic == "HALT":
             # Stop fetching; let the HALT drain to WB to finish the run.
@@ -195,18 +244,26 @@ class PipelineSimulator:
         return id_ex_next, False, redirect_target
 
     def _fetch(self, stall: bool, redirect_target: Optional[int]) -> FetchLatch:
-        """IF: fetch the next instruction (or hold / squash)."""
+        """IF: fetch the next instruction (or hold / squash / refill)."""
         if stall:
             return self.if_id  # IF/ID holds; PC is held by the caller.
         if redirect_target is not None:
             self.pc = redirect_target
-            self.stats.control_flush_bubbles += 1
+            penalty = self.machine.redirect_penalty
+            self.stats.control_flush_bubbles += penalty
+            self._fetch_bubbles = penalty
+        if self._fetch_bubbles > 0:
+            self._fetch_bubbles -= 1
             return FetchLatch.bubble()
         if self._draining or not 0 <= self.pc < len(self.program.instructions):
             return FetchLatch.bubble()
         instruction = self.program.instructions[self.pc]
         fetched = FetchLatch(valid=True, pc=self.pc, instruction=instruction)
-        self.pc += 1
+        if self.machine.predicts_taken(instruction.mnemonic,
+                                       instruction.imm or 0):
+            self.pc += instruction.imm
+        else:
+            self.pc += 1
         return fetched
 
     # ------------------------------------------------------------------ driver
@@ -217,14 +274,41 @@ class PipelineSimulator:
 
         self._writeback()
         mem_wb_next = self._memory()
-        ex_mem_next = self._execute()
+        ex_mem_next = self._execute(
+            mem_wb_next if self.machine.load_use_penalty == 0 else None)
         id_ex_next, stall, redirect_target = self._decode(ex_mem_next, mem_wb_next)
         if_id_next = self._fetch(stall, redirect_target)
+
+        retire_stage = self.retire_stage
+        if retire_stage == 4 and mem_wb_next.valid:
+            self._retire(mem_wb_next.instruction)
+        elif retire_stage == 3 and ex_mem_next.valid:
+            self._retire(ex_mem_next.instruction)
+        elif retire_stage == 2 and id_ex_next.valid:
+            self._retire(id_ex_next.instruction)
 
         self.mem_wb = mem_wb_next
         self.ex_mem = ex_mem_next
         self.id_ex = id_ex_next
         self.if_id = if_id_next
+
+    def _drain_uncounted(self) -> None:
+        """Complete the structural stages past the retire stage.
+
+        When the retire stage is earlier than WB, the cycle counter stops
+        as soon as HALT retires, but older instructions still hold EX/MEM/WB
+        work (register writes, TDM accesses).  Flush them through without
+        counting cycles or commits; HALT itself carries no side effects, so
+        the extra passes touch no statistics.
+        """
+        for _ in range(5 - self.retire_stage):
+            self._writeback()
+            mem_wb_next = self._memory()
+            ex_mem_next = self._execute(
+                mem_wb_next if self.machine.load_use_penalty == 0 else None)
+            self.mem_wb = mem_wb_next
+            self.ex_mem = ex_mem_next
+            self.id_ex = DecodeLatch.bubble()
 
     def run(self, max_cycles: int = 50_000_000) -> PipelineStats:
         """Run until the HALT instruction commits (or ``max_cycles``)."""
@@ -236,6 +320,7 @@ class PipelineSimulator:
                     f"program did not halt within {max_cycles} cycles"
                 )
             self.step_cycle()
+        self._drain_uncounted()
         self._finalize_stats()
         return self.stats
 

@@ -46,12 +46,16 @@ class ForwardingUnit:
         read_value: TernaryWord,
         ex_mem: ExecuteLatch,
         mem_wb: MemoryLatch,
+        mem_output: Optional[MemoryLatch] = None,
     ) -> TernaryWord:
         """Return the freshest value of ``register`` for the TALU input.
 
         Priority is EX/MEM (younger, closer producer) over MEM/WB over the
         register-file read performed in ID, matching the standard forwarding
-        priority of five-stage RISC pipelines.
+        priority of five-stage RISC pipelines.  ``mem_output`` — passed only
+        on machines with ``load_use_penalty == 0`` — is the MEM result
+        produced *this* cycle, enabling a same-cycle bypass of a fresh load
+        value into the TALU instead of a load-use stall.
         """
         if register is None:
             return read_value
@@ -59,6 +63,11 @@ class ForwardingUnit:
             if ex_mem.alu_result is not None:
                 self.ex_forwards += 1
                 return ex_mem.alu_result
+        if (mem_output is not None and ex_mem.valid and ex_mem.is_load
+                and ex_mem.destination == register
+                and mem_output.writeback_value is not None):
+            self.mem_forwards += 1
+            return mem_output.writeback_value
         if mem_wb.valid and mem_wb.destination == register:
             if mem_wb.writeback_value is not None:
                 self.mem_forwards += 1

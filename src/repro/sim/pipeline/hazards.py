@@ -30,9 +30,17 @@ class HazardDecision:
 
 
 class HazardDetectionUnit:
-    """Compares the adjacent instructions in ID and EX to find stalls."""
+    """Compares the adjacent instructions in ID and EX to find stalls.
 
-    def __init__(self):
+    ``load_use_penalty`` comes from the machine config: at the default 1 a
+    consumer adjacent to a LOAD always stalls one bubble; at 0 the machine
+    has a same-cycle MEM-output bypass into the TALU, so only ID-stage
+    consumers (the branch condition / JALR base path, which need the value
+    a stage before MEM produces it) still stall.
+    """
+
+    def __init__(self, load_use_penalty: int = 1):
+        self.load_use_penalty = load_use_penalty
         self.load_use_stalls = 0
 
     def check(self, decoding: Instruction, id_ex: DecodeLatch) -> HazardDecision:
@@ -49,7 +57,9 @@ class HazardDetectionUnit:
         load_destination = id_ex.destination
         if load_destination is None:
             return HazardDecision(stall=False)
-        if load_destination in decoding.sources():
+        if load_destination in decoding.sources() and (
+            self.load_use_penalty >= 1 or decoding.spec.is_control
+        ):
             self.load_use_stalls += 1
             return HazardDecision(
                 stall=True,

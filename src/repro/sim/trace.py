@@ -20,6 +20,7 @@ import json
 from typing import Dict, List, Optional
 
 from repro.isa.program import Program
+from repro.sim.machine import MachineConfig, resolve_machine
 from repro.sim.pipeline import PipelineSimulator
 from repro.sim.pipeline.stats import PipelineStats
 
@@ -48,13 +49,20 @@ def state_digest(registers: Dict[str, int], memory: Dict[int, int]) -> str:
     ).hexdigest()
 
 
-def capture_golden_trace(program: Program, max_cycles: int = 50_000_000) -> dict:
-    """Run the pipeline reference model and record its architectural outcome."""
-    simulator = PipelineSimulator(program)
+def capture_golden_trace(program: Program, max_cycles: int = 50_000_000,
+                         machine: Optional[MachineConfig] = None) -> dict:
+    """Run the pipeline reference model and record its architectural outcome.
+
+    ``machine`` selects the microarchitecture config the reference pipeline
+    runs under; it is recorded in the trace (by name) only when given, so
+    the default-machine fixtures written before the machine axis existed
+    stay byte-identical.
+    """
+    simulator = PipelineSimulator(program, machine=machine)
     stats = simulator.run(max_cycles=max_cycles)
     registers = simulator.register_snapshot()
     memory = simulator.tdm.contents()
-    return {
+    trace = {
         "format": TRACE_FORMAT,
         "program": program.name,
         "registers": {name: registers[name] for name in sorted(registers)},
@@ -62,6 +70,9 @@ def capture_golden_trace(program: Program, max_cycles: int = 50_000_000) -> dict
         "state_digest": state_digest(registers, memory),
         "stats": stats.to_dict(),
     }
+    if machine is not None:
+        trace["machine"] = resolve_machine(machine).name
+    return trace
 
 
 def trace_mismatches(

@@ -28,6 +28,7 @@ from repro.isa.program import Program
 from repro.sim.compiled import CompiledEngine
 from repro.sim.engine import FastEngine
 from repro.sim.functional import ExecutionResult, FunctionalSimulator, SimulationError
+from repro.sim.machine import MachineConfig, resolve_machine
 from repro.sim.pipeline import PipelineSimulator
 from repro.testing.generator import GeneratorConfig, generate_program
 
@@ -135,6 +136,7 @@ def run_differential(
     max_instructions: int = 200_000,
     check_pipeline: bool = True,
     raise_on_mismatch: bool = True,
+    machine: Optional[MachineConfig] = None,
 ) -> DifferentialOutcome:
     """Execute ``program`` on every executor and compare the results.
 
@@ -144,19 +146,27 @@ def run_differential(
     of them terminated a program the others did not.  When they fail
     identically the outcome is flagged ``budget_exhausted`` and the
     pipeline cross-check is skipped.
+
+    ``machine`` (a :class:`MachineConfig` or built-in config name) selects
+    the microarchitecture every cycle-accurate executor is built with, so
+    the same four-way agreement can be asserted at every design-space
+    corner; architectural results are machine-independent by construction
+    and stay pinned to the functional simulator.
     """
+    machine = resolve_machine(machine)
     fast_error: Optional[str] = None
     compiled_error: Optional[str] = None
     reference_error: Optional[str] = None
     try:
-        fast = FastEngine(program).run(max_instructions=max_instructions)
+        fast = FastEngine(program, machine=machine).run(
+            max_instructions=max_instructions)
     except SimulationError as exc:
         fast_error = str(exc)
     try:
         # cache=None: generated fuzz programs are one-shot, so persisting
         # their codegen artifacts would only pollute the shared cache (the
         # in-process memo still de-duplicates the two engine builds below).
-        compiled = CompiledEngine(program, cache=None).run(
+        compiled = CompiledEngine(program, cache=None, machine=machine).run(
             max_instructions=max_instructions)
     except SimulationError as exc:
         compiled_error = str(exc)
@@ -193,13 +203,18 @@ def run_differential(
     _compare_executions(compiled, reference, outcome.mismatches, label="compiled")
 
     if check_pipeline:
-        pipeline = PipelineSimulator(program)
-        # Cycles <= 2 * instructions + 4 for this pipeline; double it for slack.
-        cycle_budget = 4 * max_instructions + 16
+        pipeline = PipelineSimulator(program, machine=machine)
+        # Worst case per instruction is one full redirect (plus a possible
+        # load-use stall), so scale the budget with the machine's penalty.
+        per_instruction = machine.redirect_penalty + machine.load_use_penalty + 1
+        cycle_budget = (2 * per_instruction * max_instructions
+                        + machine.fill_cycles + 16)
         pipeline_stats = pipeline.run(max_cycles=cycle_budget)
-        fast_stats = FastEngine(program).run_with_stats(max_cycles=cycle_budget)
-        compiled_stats = CompiledEngine(program, cache=None).run_with_stats(
+        fast_stats = FastEngine(program, machine=machine).run_with_stats(
             max_cycles=cycle_budget)
+        compiled_stats = CompiledEngine(
+            program, cache=None, machine=machine).run_with_stats(
+                max_cycles=cycle_budget)
         outcome.cycles = pipeline_stats.cycles
 
         if pipeline.register_snapshot() != fast.registers:
@@ -237,12 +252,16 @@ def fuzz(
     config: Optional[GeneratorConfig] = None,
     max_instructions: int = 200_000,
     check_pipeline: bool = True,
+    machine: Optional[MachineConfig] = None,
 ) -> FuzzReport:
     """Run ``count`` generated programs differentially, collecting failures.
 
     Seeds ``seed .. seed+count-1`` are used one per program, so any failure
     is reproducible with ``run_differential(generate_program(bad_seed))``.
+    ``machine`` selects the microarchitecture config all cycle-accurate
+    executors run under (default: the paper machine).
     """
+    machine = resolve_machine(machine)
     report = FuzzReport()
     for offset in range(count):
         program = generate_program(seed + offset, config)
@@ -251,6 +270,7 @@ def fuzz(
             max_instructions=max_instructions,
             check_pipeline=check_pipeline,
             raise_on_mismatch=False,
+            machine=machine,
         )
         report.programs_run += 1
         report.instructions_executed += outcome.instructions_executed

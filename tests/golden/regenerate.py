@@ -19,6 +19,7 @@ import sys
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..", "src"))
 
 from repro.framework import SoftwareFramework  # noqa: E402
+from repro.sim.machine import DEFAULT_MACHINE_NAME, machine_names  # noqa: E402
 from repro.sim.trace import capture_golden_trace  # noqa: E402
 
 #: (workload name, builder params) instances pinned by the suite.
@@ -29,28 +30,44 @@ GOLDEN_INSTANCES = [
     ("dhrystone", {}),
 ]
 
+#: Non-default machine configs with their own fixture subdirectories
+#: (``tests/golden/<machine>/``).  The default machine's fixtures live at
+#: the top level, unchanged since before the machine axis existed.
+GOLDEN_MACHINES = tuple(
+    name for name in machine_names() if name != DEFAULT_MACHINE_NAME)
+
 FIXTURE_DIR = os.path.dirname(os.path.abspath(__file__))
 
 
-def fixture_path(name: str, params: dict) -> str:
+def fixture_path(name: str, params: dict, machine: str = DEFAULT_MACHINE_NAME) -> str:
     suffix = "".join(f"_{key}{value}" for key, value in sorted(params.items()))
-    return os.path.join(FIXTURE_DIR, f"{name}{suffix}.json")
+    directory = (FIXTURE_DIR if machine == DEFAULT_MACHINE_NAME
+                 else os.path.join(FIXTURE_DIR, machine))
+    return os.path.join(directory, f"{name}{suffix}.json")
 
 
 def regenerate() -> None:
     software = SoftwareFramework(optimize=True)
+    machines = (DEFAULT_MACHINE_NAME,) + GOLDEN_MACHINES
     for name, params in GOLDEN_INSTANCES:
         program, _, workload = software.compile_named_workload(name, params)
-        trace = capture_golden_trace(program)
-        trace["workload"] = name
-        trace["params"] = params
-        trace["optimize"] = True
-        path = fixture_path(name, params)
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(trace, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        print(f"wrote {path}: {trace['stats']['cycles']} cycles, "
-              f"digest {trace['state_digest'][:12]}…")
+        for machine in machines:
+            # The default-machine fixtures predate the machine axis and
+            # must stay byte-identical, so they carry no machine key.
+            if machine == DEFAULT_MACHINE_NAME:
+                trace = capture_golden_trace(program)
+            else:
+                trace = capture_golden_trace(program, machine=machine)
+            trace["workload"] = name
+            trace["params"] = params
+            trace["optimize"] = True
+            path = fixture_path(name, params, machine)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(trace, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"wrote {path}: {trace['stats']['cycles']} cycles, "
+                  f"digest {trace['state_digest'][:12]}…")
 
 
 if __name__ == "__main__":

@@ -91,13 +91,18 @@ class TestBench:
         assert "bench record written" in capsys.readouterr().out
         with open(path, "r", encoding="utf-8") as handle:
             record = json.load(handle)
-        assert record["format"] == 1
+        assert record["format"] == 2
         labels = {row["label"] for row in record["workloads"]}
         assert "dhrystone[iterations=500]" in labels
         for row in record["workloads"]:
             assert row["engines_agree"] is True
             assert row["fast_seconds"] > 0 and row["compiled_seconds"] > 0
             assert row["compiled_speedup_vs_fast"] > 0
+        machines = {row["machine"] for row in record["machines"]}
+        assert "paper3stage" in machines and len(machines) >= 3
+        for row in record["machines"]:
+            assert row["engines_agree"] is True
+            assert row["cycles"] > 0
         assert "sweep" not in record  # --no-sweep-timing
 
     def test_bench_json_rejects_workload_and_engine_selection(self, tmp_path,

@@ -72,7 +72,7 @@ class TestDistributedAcceptance:
 class TestReportHeadlines:
     def test_all_tables_built(self, report_tables):
         assert set(report_tables) == {"table2", "table3", "table4", "table5",
-                                      "fig5"}
+                                      "fig5", "machines"}
         assert all(table.ok for table in report_tables.values())
 
     def test_table2_dhrystone_ordering_and_density(self, report_tables):
