@@ -9,7 +9,7 @@ Subcommands::
     art9 serve                     coordinate a sweep for remote workers (TCP)
     art9 work                      execute jobs for a remote coordinator
     art9 report                    paper tables (II-V, Fig. 5) from sweep runs
-    art9 fuzz                      differential-fuzz the four ART-9 executors
+    art9 fuzz                      differential-fuzz the five ART-9 executors
     art9 hw                        print the gate-level / FPGA analysis
     art9 workloads                 list the bundled benchmark workloads
 
@@ -123,7 +123,16 @@ BENCH_JSON_VARIANTS = (
 
 #: Schema version of the ``bench --json`` record (the BENCH_*.json files).
 #: Format 2 adds the per-machine-config Dhrystone rows (``machines`` key).
-BENCH_RECORD_FORMAT = 2
+#: Format 3 adds the batched-engine throughput rows (``batch`` key) with the
+#: ``jobs_per_second`` metric.
+BENCH_RECORD_FORMAT = 3
+
+#: Workloads timed by the batched-throughput section: the two seed-variant
+#: sweep workloads whose grid points the batched backends actually group.
+BENCH_BATCH_VARIANTS = (
+    ("bubble_sort", {}),
+    ("gemm", {}),
+)
 
 
 def _bench_engine_seconds(engine_factories, program, repeat: int):
@@ -192,6 +201,62 @@ def _bench_sweep_timing(preset: str) -> dict:
     }
 
 
+def _bench_batch_throughput(software, lanes: int, repeat: int) -> list:
+    """Jobs-per-second of the batched engine vs one-at-a-time compiled runs.
+
+    Each workload is expanded into ``lanes`` data-variant programs — the
+    same shape a seed-style sweep grid produces — and both sides execute
+    the identical program list: the serial side as ``lanes`` independent
+    compiled-engine runs, the batch side as one ``BatchEngine`` pass in
+    stats-only mode.  Best-of-``repeat`` seconds, cycle counts
+    cross-checked lane by lane.
+    """
+    from repro.sim.batch import BatchEngine
+    from repro.sim.compiled import CompiledEngine
+    from repro.testing import generate_data_variants
+
+    rows = []
+    for name, params in BENCH_BATCH_VARIANTS:
+        program, _, _ = software.compile_named_workload(name, params)
+        programs = generate_data_variants(program, lanes, 0)
+        CompiledEngine(programs[0]).run_with_stats()  # warm codegen memo
+        BatchEngine(programs).run_with_stats(include_results=False)
+        serial_seconds = batch_seconds = None
+        serial_cycles = batch_cycles = None
+        for _ in range(max(1, repeat)):
+            started = time.perf_counter()
+            serial_stats = [CompiledEngine(p).run_with_stats()
+                            for p in programs]
+            elapsed = time.perf_counter() - started
+            if serial_seconds is None or elapsed < serial_seconds:
+                serial_seconds = elapsed
+                serial_cycles = [stats.cycles for stats in serial_stats]
+            started = time.perf_counter()
+            outcomes = BatchEngine(programs).run_with_stats(
+                include_results=False)
+            elapsed = time.perf_counter() - started
+            if batch_seconds is None or elapsed < batch_seconds:
+                batch_seconds = elapsed
+                batch_cycles = [lane.stats.cycles if lane.stats else None
+                                for lane in outcomes]
+        rows.append({
+            "workload": name,
+            "params": dict(params),
+            "lanes": lanes,
+            "serial_seconds": round(serial_seconds, 6),
+            "batch_seconds": round(batch_seconds, 6),
+            "serial_jobs_per_second": round(lanes / serial_seconds, 3),
+            "jobs_per_second": round(lanes / batch_seconds, 3),
+            "batch_speedup": round(serial_seconds / batch_seconds, 6),
+            "engines_agree": batch_cycles == serial_cycles,
+        })
+        print(f"{name + f'@{lanes} lanes':32s} "
+              f"serial {lanes / serial_seconds:8.1f} jobs/s   "
+              f"batch {lanes / batch_seconds:8.1f} jobs/s   "
+              f"{serial_seconds / batch_seconds:5.2f}x")
+    return rows
+
+
 def _cmd_bench_json(args: argparse.Namespace) -> int:
     from repro.sim.compiled import CompiledEngine
     from repro.sim.engine import FastEngine
@@ -241,6 +306,8 @@ def _cmd_bench_json(args: argparse.Namespace) -> int:
         print(f"dhrystone@{machine:22s} {fast_stats.cycles:>10d} cycles   "
               f"CPI {fast_stats.cpi:5.3f}   "
               f"{'ok' if machine_rows[-1]['engines_agree'] else 'DISAGREE'}")
+    batch_rows = _bench_batch_throughput(software, max(2, args.batch_lanes),
+                                         args.repeat)
     record = {
         "format": BENCH_RECORD_FORMAT,
         "created_unix": int(time.time()),
@@ -251,6 +318,7 @@ def _cmd_bench_json(args: argparse.Namespace) -> int:
                        "pipeline timing model), best-of-repeat seconds",
         "workloads": rows,
         "machines": machine_rows,
+        "batch": batch_rows,
     }
     sweep_ok = True
     if not args.no_sweep_timing:
@@ -270,10 +338,11 @@ def _cmd_bench_json(args: argparse.Namespace) -> int:
         json.dump(record, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"bench record written to {args.json_path}")
-    engines_agree = all(row["engines_agree"] for row in rows + machine_rows)
+    engines_agree = all(row["engines_agree"]
+                        for row in rows + machine_rows + batch_rows)
     if not engines_agree:
-        print("art9 bench: fast and compiled engines disagree on cycle "
-              "counts — the record above documents a correctness bug",
+        print("art9 bench: the engines disagree on cycle counts — the "
+              "record above documents a correctness bug",
               file=sys.stderr)
     return 0 if sweep_ok and engines_agree else 1
 
@@ -326,7 +395,19 @@ def _sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
         return preset_spec(args.preset)
     optimize = {None: (True, False), "both": (True, False),
                 "on": (True,), "off": (False,)}[args.optimize]
-    params = json.loads(args.params) if args.params else {}
+    params = {}
+    if args.params:
+        try:
+            params = json.loads(args.params)
+        except json.JSONDecodeError as exc:
+            raise SpecError(
+                f"--params is not valid JSON ({exc}): {args.params!r}"
+            ) from None
+        if not isinstance(params, dict):
+            raise SpecError(
+                "--params must be a JSON object mapping workload names to "
+                f"variant lists, got {args.params!r}"
+            )
     return SweepSpec(
         workloads=tuple(args.workloads or ()),
         engines=tuple(args.engines or SIMULATION_ENGINES),
@@ -378,13 +459,25 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
             print(f"{row['job_id']}  {row['status']:8s} {row['label']}")
         return 0
 
+    if args.batch and args.backend == "queue":
+        raise SpecError(
+            "--batch groups jobs inside a local worker; the queue backend "
+            "dispatches single jobs to remote workers — drop one flag")
     backend = None
     if args.backend == "serial":
-        backend = SerialBackend()
+        backend = SerialBackend(batch=args.batch)
     elif args.backend == "multiprocessing":
-        backend = MultiprocessingBackend(processes=max(1, args.jobs))
+        backend = MultiprocessingBackend(processes=max(1, args.jobs),
+                                         batch=args.batch)
     elif args.backend == "queue":
         backend = AsyncQueueBackend(workers=max(1, args.jobs))
+    elif args.batch:
+        # auto + --batch: same serial/pool choice run_sweep would make,
+        # with the batched job-group execution path enabled.
+        if args.jobs > 1:
+            backend = MultiprocessingBackend(processes=args.jobs, batch=True)
+        else:
+            backend = SerialBackend(batch=True)
     outcome = run_sweep(spec, args.out, jobs=args.jobs,
                         resume=not args.no_resume, progress=_sweep_progress,
                         backend=backend)
@@ -469,6 +562,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
+    if args.batch_lanes < 0:
+        print(f"art9 fuzz: --batch-lanes must be >= 0, got {args.batch_lanes}",
+              file=sys.stderr)
+        return 2
     report = run_parallel_fuzz(
         count=args.count,
         seed=args.seed,
@@ -476,6 +573,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         max_instructions=args.max_instructions,
         check_pipeline=not args.no_pipeline,
         machine=args.machine,
+        batch_lanes=args.batch_lanes,
     )
     print(report.summary())
     for failure in report.failures:
@@ -571,6 +669,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--no-sweep-timing", action="store_true",
                        help="skip the cold/warm sweep wall-time measurement "
                             "in --json mode")
+    bench.add_argument("--batch-lanes", type=int, default=2048,
+                       help="lane count for the batched-engine throughput "
+                            "rows in --json mode (default: 2048 — wide "
+                            "enough to amortise divergence-driven group "
+                            "splits on every bundled workload)")
     bench.set_defaults(func=_cmd_bench)
 
     sweep = subparsers.add_parser(
@@ -588,6 +691,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="execution backend (default: auto — inline for "
                             "--jobs 1, multiprocessing pool otherwise; queue "
                             "runs a TCP coordinator with --jobs local workers)")
+    sweep.add_argument("--batch", action="store_true",
+                       help="execute same-grid-point job groups (identical "
+                            "except for a seed-style param) through one "
+                            "multi-lane BatchEngine per group; record "
+                            "content is unchanged (serial and "
+                            "multiprocessing backends only)")
     sweep.add_argument("--no-resume", action="store_true",
                        help="discard existing results in --out and recompute")
     sweep.add_argument("--list", action="store_true", dest="list_jobs",
@@ -647,8 +756,8 @@ def build_parser() -> argparse.ArgumentParser:
     report.set_defaults(func=_cmd_report)
 
     fuzz_cmd = subparsers.add_parser(
-        "fuzz", help="differential-fuzz all four executors (functional, "
-                     "pipeline, fast, compiled) against each other")
+        "fuzz", help="differential-fuzz all five executors (functional, "
+                     "pipeline, fast, compiled, batch) against each other")
     fuzz_cmd.add_argument("--count", type=int, default=100,
                           help="number of random programs (default: 100)")
     fuzz_cmd.add_argument("--seed", type=int, default=0,
@@ -664,6 +773,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="machine (microarchitecture) config all "
                                "cycle-accurate executors run under "
                                f"(default: {DEFAULT_MACHINE_NAME})")
+    fuzz_cmd.add_argument("--batch-lanes", type=int, default=0,
+                          help="run each seed as N data-variant lanes through "
+                               "one multi-lane BatchEngine, pinning every "
+                               "lane to the serial engines (default: 0 — "
+                               "serial five-way differential)")
     fuzz_cmd.set_defaults(func=_cmd_fuzz)
 
     hw = subparsers.add_parser("hw", help="gate-level / FPGA implementation analysis")

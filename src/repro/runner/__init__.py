@@ -44,7 +44,12 @@ from repro.runner.store import (
     VOLATILE_RECORD_FIELDS,
     canonical_record,
 )
-from repro.runner.worker import execute_job
+from repro.runner.worker import (
+    batch_group_key,
+    batchable_groups,
+    execute_job,
+    execute_job_batch,
+)
 
 __all__ = [
     "CompareReport",
@@ -67,5 +72,8 @@ __all__ = [
     "StoreError",
     "VOLATILE_RECORD_FIELDS",
     "canonical_record",
+    "batch_group_key",
+    "batchable_groups",
     "execute_job",
+    "execute_job_batch",
 ]

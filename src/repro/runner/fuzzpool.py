@@ -14,7 +14,7 @@ import multiprocessing
 from typing import List, Optional
 
 from repro.runner.worker import execute_fuzz_chunk
-from repro.testing import FuzzReport, fuzz
+from repro.testing import FuzzReport, fuzz, fuzz_batched
 
 #: Chunks handed out per worker; small enough to balance, large enough to
 #: amortise the per-chunk generator warm-up.
@@ -22,7 +22,8 @@ CHUNKS_PER_WORKER = 4
 
 
 def _chunks(count: int, seed: int, jobs: int, max_instructions: int,
-            check_pipeline: bool, machine: Optional[str] = None) -> List[dict]:
+            check_pipeline: bool, machine: Optional[str] = None,
+            batch_lanes: int = 0) -> List[dict]:
     target = max(1, min(count, jobs * CHUNKS_PER_WORKER))
     base, extra = divmod(count, target)
     chunks = []
@@ -39,6 +40,8 @@ def _chunks(count: int, seed: int, jobs: int, max_instructions: int,
         }
         if machine is not None:
             chunk["machine"] = machine
+        if batch_lanes > 1:
+            chunk["batch_lanes"] = batch_lanes
         chunks.append(chunk)
         next_seed += size
     return chunks
@@ -64,6 +67,7 @@ def run_parallel_fuzz(
     max_instructions: int = 200_000,
     check_pipeline: bool = True,
     machine: Optional[str] = None,
+    batch_lanes: int = 0,
 ) -> FuzzReport:
     """Fuzz ``count`` seeds starting at ``seed`` across ``jobs`` processes.
 
@@ -71,14 +75,23 @@ def run_parallel_fuzz(
     report covers the identical seed set ``seed .. seed+count-1``.
     ``machine`` selects the microarchitecture config every engine in the
     differential harness is built with (default: the paper machine).
+    ``batch_lanes > 1`` runs each seed's program as that many data-variant
+    lanes through the batched differential harness
+    (:func:`repro.testing.fuzz_batched`) instead of the serial five-way.
     """
     if jobs <= 1 or count <= 1:
+        if batch_lanes > 1:
+            return fuzz_batched(count=count, seed=seed,
+                                lanes=batch_lanes,
+                                max_instructions=max_instructions,
+                                check_stats=check_pipeline,
+                                machine=machine)
         return fuzz(count=count, seed=seed,
                     max_instructions=max_instructions,
                     check_pipeline=check_pipeline,
                     machine=machine)
     chunks = _chunks(count, seed, jobs, max_instructions, check_pipeline,
-                     machine)
+                     machine, batch_lanes)
     with multiprocessing.Pool(processes=jobs) as pool:
         reports = pool.map(execute_fuzz_chunk, chunks)
     return _merge(reports)

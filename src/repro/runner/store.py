@@ -160,6 +160,9 @@ class RunStore:
                     continue
                 job_id = record.get("job_id")
                 if not job_id:
+                    logger.warning(
+                        "skipping record without a job_id on line %d of %s",
+                        lineno, self.results_path)
                     continue
                 if job_id not in by_job:
                     order.append(job_id)

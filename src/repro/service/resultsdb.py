@@ -177,7 +177,10 @@ class ResultsDB:
                  str(record.get("engine", "")),
                  1 if record.get("optimize") else 0,
                  _params_json(record.get("params")),
-                 str(record.get("machine", DEFAULT_MACHINE_NAME)),
+                 # An explicit ``"machine": null`` means the same as a missing
+                 # key (pre-machine-config records): the paper default — not
+                 # the literal string "None".
+                 str(record.get("machine") or DEFAULT_MACHINE_NAME),
                  str(record.get("status", "")),
                  1 if record.get("verified") else 0,
                  record.get("cycles"),

@@ -34,6 +34,16 @@ Use them (directly, through :func:`execute_program` /
 / ``engine="compiled"``) whenever throughput matters more than per-trit
 observability.
 
+``BatchEngine`` (in :mod:`repro.sim.batch`)
+    The throughput tier: executes *many* lanes of one shared instruction
+    stream concurrently, with registers and data memory as numpy arrays
+    over a batch dimension.  Lanes that diverge (data-dependent branches,
+    indirect jumps, halts, faults) are tracked as path groups and
+    reconverge automatically; per-lane ``PipelineStats`` stay bit-identical
+    to ``FastEngine`` because the timing model depends only on the
+    committed instruction stream.  Used by batched fuzzing, same-grid-point
+    sweep batching and the ``jobs_per_second`` benchmark.
+
 Shared component models (ternary register file, TIM/TDM memories, the TALU)
 live in their own modules so that both simulators — and the gate-level
 analyzer, which counts their hardware resources — agree on the semantics.
@@ -56,6 +66,7 @@ from repro.sim.functional import ExecutionResult, FunctionalSimulator, Simulatio
 from repro.sim.pipeline import PipelineSimulator, PipelineStats
 from repro.sim.engine import FastEngine, execute_program
 from repro.sim.compiled import CompiledEngine, compile_and_run
+from repro.sim.batch import BatchEngine, BatchError, LaneOutcome, batchable_programs
 from repro.sim.trace import capture_golden_trace, memory_digest, state_digest, trace_mismatches
 
 __all__ = [
@@ -81,6 +92,10 @@ __all__ = [
     "execute_program",
     "CompiledEngine",
     "compile_and_run",
+    "BatchEngine",
+    "BatchError",
+    "LaneOutcome",
+    "batchable_programs",
     "capture_golden_trace",
     "memory_digest",
     "state_digest",

@@ -1,0 +1,844 @@
+"""Batched vectorized execution engine: many program instances, one process.
+
+Sweeps and fuzz corpora execute thousands of *small, independent* jobs whose
+instruction streams are identical and whose inputs differ only in the data
+segment (seed-style workload parameters only regenerate ``.data`` words; the
+translated code is byte-for-byte the same).  Running those one at a time
+leaves most of the interpreter cost — dispatch, bookkeeping, the Python
+bytecode loop itself — unamortised.
+
+:class:`BatchEngine` executes B instances ("lanes") of one instruction
+stream concurrently.  Architectural state is held in numpy arrays over the
+batch dimension:
+
+* registers as a ``(NUM_REGISTERS, B)`` int64 array, so one vectorized op
+  retires the same instruction for every lane at once (balanced-ternary
+  wraparound is three in-place array ops; the trit-wise gate ops go through
+  precomputed ``(3**9, 9)`` trit-plane tables);
+* data memory as a dense ``(B, depth)`` int16 plane plus a ``touched`` mask
+  that reproduces the sparse engines' touched-cell ``memory`` dict exactly.
+
+Control flow diverges per lane (data-dependent branches, JALR targets,
+per-lane HALT and errors), so lanes are organised into **path groups**: sets
+of lanes that have followed the same control path and therefore sit at the
+same PC.  The scheduler always steps the group with the lowest PC, which
+drives diverged groups back toward their join point, where they are merged
+again.  A divergent branch splits a group in two; a divergent JALR splits by
+target; HALT and per-lane errors (instruction budget, PC escape, TDM range
+faults) retire lanes out of their group.
+
+The cycle-accurate timing model rides on a key invariant of the analytic
+model in :mod:`repro.sim.engine`: every :class:`PipelineStats` quantity is a
+pure function of the *committed instruction stream* (opcodes, register
+indices and branch outcomes) — never of data values.  Lanes in the same
+path group therefore share one scalar rolling-window state (the same
+``p1_*``/``p2_dest`` window the fast engine keeps), and per-lane counters
+advance by group-wide scalar increments.  Groups merge only when both PC
+and window state coincide, so a merged group remains exact.  The result is
+bit-identical ``ExecutionResult`` *and* ``PipelineStats`` per lane — the
+5-way differential suite pins every lane against
+FastEngine/CompiledEngine/FunctionalSimulator/PipelineSimulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+import repro.sim.engine as _engine
+from repro.isa.program import Program
+from repro.isa.registers import NUM_REGISTERS, register_name
+from repro.sim.engine import (
+    HALF,
+    MOD,
+    OP_ADD,
+    OP_ADDI,
+    OP_AND,
+    OP_ANDI,
+    OP_BEQ,
+    OP_BNE,
+    OP_COMP,
+    OP_HALT,
+    OP_JAL,
+    OP_JALR,
+    OP_LI,
+    OP_LOAD,
+    OP_LUI,
+    OP_MV,
+    OP_NTI,
+    OP_OR,
+    OP_PTI,
+    OP_SL,
+    OP_SLI,
+    OP_SR,
+    OP_SRI,
+    OP_STI,
+    OP_STORE,
+    OP_SUB,
+    OP_XOR,
+    FastEngine,
+    _MNEMONIC_OF,
+    _POW3,
+    _READS,
+    _WRITERS,
+    wrap,
+)
+from repro.sim.functional import ExecutionResult, SimulationError
+from repro.sim.machine import MachineConfig, resolve_machine
+from repro.sim.memory import MemoryError_
+from repro.sim.pipeline.stats import PipelineStats
+
+
+class BatchError(SimulationError):
+    """Raised when a set of programs cannot share one batch."""
+
+
+# Lazily built numpy value tables shared by every engine instance:
+#   trit planes of all 3**9 words, the PTI/NTI word tables, and 3**k.
+_NP_TABLES: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = None
+
+
+def _np_tables() -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    global _NP_TABLES
+    if _NP_TABLES is None:
+        _engine._build_tables()
+        _NP_TABLES = (
+            np.array(_engine._TRITS, dtype=np.int8),
+            np.array(_engine._PTI_WORD, dtype=np.int64),
+            np.array(_engine._NTI_WORD, dtype=np.int64),
+            np.array(_POW3, dtype=np.int64),
+        )
+    return _NP_TABLES
+
+
+def batchable_programs(programs: Sequence[Program]) -> bool:
+    """True when every program shares lane 0's predecoded instruction stream.
+
+    Data segments (and names) may differ freely — that is exactly the
+    degree of freedom the batch dimension vectorizes over.  Malformed
+    programs (predecode errors) are reported as not batchable so callers
+    can fall back to the serial path, where the error surfaces normally.
+    """
+    if not programs:
+        return False
+    try:
+        base = FastEngine._predecode(programs[0])
+        return all(FastEngine._predecode(program) == base
+                   for program in programs[1:])
+    except Exception:
+        return False
+
+
+@dataclass
+class LaneOutcome:
+    """Per-lane result of one batched execution.
+
+    Exactly one of ``result``/``error`` is set.  ``error`` carries the
+    byte-identical message the fast engine would have raised for the same
+    program, and ``error_kind`` its exception class name (``SimulationError``
+    or ``MemoryError_``), so differential harnesses and sweep workers can
+    reproduce the serial error contract without re-running the lane.
+    """
+
+    lane: int
+    result: Optional[ExecutionResult] = None
+    stats: Optional[PipelineStats] = None
+    error: Optional[str] = None
+    error_kind: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class _Group:
+    """One set of lanes sharing a control path (and thus a PC).
+
+    The timing fields mirror the fast engine's rolling two-instruction
+    window; they are scalars because the window is a function of the
+    committed stream, which is common to every lane in the group.
+    ``max_exec`` conservatively upper-bounds the lanes' executed counts so
+    the per-step budget check stays a plain int comparison until the budget
+    is actually near.
+    """
+
+    __slots__ = ("pc", "lanes", "first_commit", "gap_prev", "p1_dest",
+                 "p1_load", "p1_alu", "p1_redirect_gap", "p2_dest", "max_exec")
+
+    def __init__(self, pc: int, lanes: np.ndarray):
+        self.pc = pc
+        self.lanes = lanes
+        self.first_commit = True
+        self.gap_prev = 0
+        self.p1_dest = -1
+        self.p1_load = False
+        self.p1_alu = False
+        self.p1_redirect_gap = 0
+        self.p2_dest = -1
+        self.max_exec = 0
+
+    def split(self, lanes: np.ndarray) -> "_Group":
+        """A new group with identical window state over a lane subset."""
+        twin = _Group.__new__(_Group)
+        twin.pc = self.pc
+        twin.lanes = lanes
+        twin.first_commit = self.first_commit
+        twin.gap_prev = self.gap_prev
+        twin.p1_dest = self.p1_dest
+        twin.p1_load = self.p1_load
+        twin.p1_alu = self.p1_alu
+        twin.p1_redirect_gap = self.p1_redirect_gap
+        twin.p2_dest = self.p2_dest
+        twin.max_exec = self.max_exec
+        return twin
+
+    def window_key(self) -> tuple:
+        return (self.first_commit, self.gap_prev, self.p1_dest, self.p1_load,
+                self.p1_alu, self.p1_redirect_gap, self.p2_dest)
+
+
+class BatchEngine:
+    """Vectorized multi-lane interpreter for one shared instruction stream.
+
+    ``programs`` supplies one :class:`Program` per lane; all of them must
+    predecode to the same dispatch records (:class:`BatchError` otherwise).
+    Like :class:`FastEngine`, an instance is single-use: build a fresh
+    engine per batched execution.
+    """
+
+    def __init__(self, programs: Sequence[Program], tdm_depth: int = MOD,
+                 machine: Optional[MachineConfig] = None):
+        if not programs:
+            raise BatchError("BatchEngine needs at least one program")
+        self.programs: List[Program] = list(programs)
+        self.tdm_depth = tdm_depth
+        self.machine = resolve_machine(machine)
+        base = self.programs[0]
+        self._records = FastEngine._predecode(base)
+        for index, program in enumerate(self.programs[1:], start=1):
+            # Equal instruction lists predecode identically; the comparison
+            # is much cheaper than re-predecoding every lane of a large
+            # batch (data variants even share the list object).
+            if (program.instructions is base.instructions
+                    or program.instructions == base.instructions):
+                continue
+            if FastEngine._predecode(program) != self._records:
+                raise BatchError(
+                    f"lane {index} ({program.name!r}) does not share lane 0's "
+                    f"({base.name!r}) instruction stream"
+                )
+        _np_tables()
+
+        batch = len(self.programs)
+        self._batch = batch
+        self._regs = np.zeros((NUM_REGISTERS, batch), dtype=np.int64)
+        # int16 keeps the dense memory plane small (values are balanced
+        # 9-trit words, |v| <= 9841); ``touched`` reproduces the sparse
+        # engines' touched-cell semantics.
+        self._mem = np.zeros((batch, tdm_depth), dtype=np.int16)
+        self._touched = np.zeros((batch, tdm_depth), dtype=bool)
+        self._counts = np.zeros((len(self._records), batch), dtype=np.int64)
+        self._executed = np.zeros(batch, dtype=np.int64)
+        self._final_pc = np.zeros(batch, dtype=np.int64)
+        self._halted = np.zeros(batch, dtype=bool)
+        self._errors: List[Optional[str]] = [None] * batch
+        self._error_kinds: List[Optional[str]] = [None] * batch
+        self._rows = np.arange(batch)
+        self._consumed = False
+        # Timing counter arrays, allocated on the run_with_stats path.
+        self._t_stalls = self._t_flushes = None
+        self._t_taken = self._t_not_taken = self._t_jumps = None
+        self._t_exf = self._t_memf = self._t_idf = None
+
+        for lane, program in enumerate(self.programs):
+            for segment in program.data:
+                values = segment.values
+                if not values:
+                    continue
+                base = segment.base_address
+                if not 0 <= base < tdm_depth or base + len(values) > tdm_depth:
+                    # First offending address, in the same offset order the
+                    # scalar engines initialise (and fail) in.
+                    first_bad = base if (base < 0 or base >= tdm_depth) else tdm_depth
+                    raise MemoryError_(
+                        f"TDM: address {first_bad} out of range 0..{tdm_depth - 1}"
+                    )
+                cells = (np.asarray(values, dtype=np.int64) + HALF) % MOD - HALF
+                self._mem[lane, base:base + len(values)] = cells
+                self._touched[lane, base:base + len(values)] = True
+
+    # -- entry points -------------------------------------------------------
+
+    def run(self, max_instructions: int = 10_000_000) -> List[LaneOutcome]:
+        """Architectural execution of every lane; per-lane ``LaneOutcome``."""
+        self._consume()
+        self._execute(max_instructions, timing=False)
+        return self._outcomes(stats_limit=None)
+
+    def run_with_stats(self, max_cycles: int = 50_000_000,
+                       include_results: bool = True) -> List[LaneOutcome]:
+        """Execution plus per-lane pipeline statistics (fast-engine parity).
+
+        Mirrors :meth:`FastEngine.run_with_stats`: ``max_cycles`` bounds the
+        committed-instruction count during execution, and lanes whose final
+        cycle count still exceeds it come back with the same
+        "did not halt within N cycles" error the fast engine raises.
+        Outcomes carry both the ``ExecutionResult`` and the stats;
+        ``include_results=False`` skips the per-lane result assembly (the
+        registers/touched-memory dicts) for stats-only callers such as the
+        throughput benchmark.
+        """
+        if not self.programs[0].instructions:
+            raise SimulationError("cannot simulate an empty program")
+        self._consume()
+        self._execute(max_cycles, timing=True)
+        return self._outcomes(stats_limit=max_cycles,
+                              include_results=include_results)
+
+    def _consume(self) -> None:
+        if self._consumed:
+            raise SimulationError(
+                "engine state already consumed; build a fresh BatchEngine"
+            )
+        self._consumed = True
+
+    # -- the vectorized interpreter -----------------------------------------
+
+    def _execute(self, max_instructions: int, timing: bool) -> None:
+        records = self._records
+        program_length = len(records)
+        regs = self._regs
+        mem = self._mem
+        touched = self._touched
+        counts = self._counts
+        final_pc = self._final_pc
+        halted = self._halted
+        errors = self._errors
+        error_kinds = self._error_kinds
+        rows = self._rows
+        batch = self._batch
+        depth = self.tdm_depth
+        check_depth = depth != MOD
+        trits_np, pti_np, nti_np, pow3_np = _np_tables()
+        scratch = np.empty(batch, dtype=np.int64)
+        bool_scratch = np.empty(batch, dtype=bool)
+
+        machine = self.machine
+        redirect_penalty = machine.redirect_penalty
+        load_penalty = machine.load_use_penalty
+        btfn = machine.branch_policy == "static-btfn"
+        jal_redirects = not machine.folds_jal
+        reads_table = _READS
+
+        if timing:
+            stalls = self._t_stalls = np.zeros(batch, dtype=np.int64)
+            flushes = self._t_flushes = np.zeros(batch, dtype=np.int64)
+            taken_arr = self._t_taken = np.zeros(batch, dtype=np.int64)
+            not_taken_arr = self._t_not_taken = np.zeros(batch, dtype=np.int64)
+            jumps_arr = self._t_jumps = np.zeros(batch, dtype=np.int64)
+            exf = self._t_exf = np.zeros(batch, dtype=np.int64)
+            memf = self._t_memf = np.zeros(batch, dtype=np.int64)
+            idf = self._t_idf = np.zeros(batch, dtype=np.int64)
+
+        def post_update(grp: _Group, op: int, ta: int, taken: bool,
+                        imm: int) -> None:
+            # The fast engine's end-of-commit window update, verbatim.
+            if op == OP_BEQ or op == OP_BNE:
+                if btfn:
+                    mispredicted = taken != (imm <= 0)
+                else:
+                    mispredicted = taken
+                grp.p1_redirect_gap = redirect_penalty if mispredicted else 0
+            elif op == OP_JAL or op == OP_JALR:
+                if op == OP_JALR or jal_redirects:
+                    grp.p1_redirect_gap = redirect_penalty
+                else:
+                    grp.p1_redirect_gap = 0
+            else:
+                grp.p1_redirect_gap = 0
+            grp.p2_dest = grp.p1_dest
+            if op in _WRITERS:
+                grp.p1_dest = ta
+                grp.p1_alu = op != OP_LOAD
+            else:
+                grp.p1_dest = -1
+                grp.p1_alu = False
+            grp.p1_load = op == OP_LOAD
+
+        groups: List[_Group] = [_Group(0, rows.copy())]
+
+        while groups:
+            if len(groups) == 1:
+                group = groups[0]
+            else:
+                group = min(groups, key=lambda grp: grp.pc)
+            pc = group.pc
+            lanes = group.lanes
+            full = lanes.shape[0] == batch
+            sel = slice(None) if full else lanes
+
+            # Instruction budget: cheap scalar bound first (per-lane counts
+            # are only materialised from the mix matrix once the bound
+            # actually reaches the budget, which keeps the common path free
+            # of per-step counter reads).
+            if group.max_exec >= max_instructions:
+                lane_exec = counts[:, lanes].sum(axis=0)
+                over = lane_exec >= max_instructions
+                if over.any():
+                    bad = lanes[over]
+                    final_pc[bad] = pc
+                    message = (f"program did not halt within "
+                               f"{max_instructions} instructions")
+                    for lane in bad.tolist():
+                        errors[lane] = message
+                        error_kinds[lane] = "SimulationError"
+                    lanes = lanes[~over]
+                    if lanes.shape[0] == 0:
+                        groups.remove(group)
+                        continue
+                    group.lanes = lanes
+                    full = False
+                    sel = lanes
+                    lane_exec = lane_exec[~over]
+                group.max_exec = int(lane_exec.max())
+
+            if pc < 0 or pc >= program_length:
+                final_pc[lanes] = pc
+                message = f"PC {pc} outside program of {program_length} instructions"
+                for lane in lanes.tolist():
+                    errors[lane] = message
+                    error_kinds[lane] = "SimulationError"
+                groups.remove(group)
+                continue
+
+            op, ta, tb, imm, bt = records[pc]
+
+            if timing:
+                # Scalar pre-commit pass: gaps, stalls, flushes and the
+                # forwarding events depend only on the window and the
+                # operand indices, never on lane data, so one computation
+                # covers the whole group (counters advance by scatter-add).
+                reads_ta, reads_tb, id_reads = reads_table[op]
+                gap = 0
+                if group.first_commit:
+                    group.first_commit = False
+                elif group.p1_redirect_gap:
+                    gap = group.p1_redirect_gap
+                    flushes[sel] += gap
+                elif group.p1_load and group.p1_dest >= 0 and (
+                    (reads_ta and ta == group.p1_dest)
+                    or (reads_tb and tb == group.p1_dest)
+                ):
+                    if load_penalty or (id_reads and tb == group.p1_dest):
+                        gap = 1
+                        stalls[sel] += 1
+
+                if gap == 1:
+                    wb_dest = group.p1_dest
+                elif gap == 0 and group.gap_prev == 0:
+                    wb_dest = group.p2_dest
+                else:
+                    wb_dest = -1
+
+                ex_events = mem_events = id_events = 0
+                if reads_ta:
+                    if gap == 0 and group.p1_alu and group.p1_dest == ta:
+                        ex_events += 1
+                    elif gap == 0 and group.p1_load and group.p1_dest == ta:
+                        mem_events += 1
+                    elif wb_dest >= 0 and wb_dest == ta:
+                        mem_events += 1
+                if reads_tb:
+                    if gap == 0 and group.p1_alu and group.p1_dest == tb:
+                        ex_events += 1
+                    elif gap == 0 and group.p1_load and group.p1_dest == tb:
+                        mem_events += 1
+                    elif wb_dest >= 0 and wb_dest == tb:
+                        mem_events += 1
+                if id_reads:
+                    if gap == 0 and group.p1_alu and group.p1_dest == tb:
+                        id_events += 1
+                    elif wb_dest >= 0 and wb_dest == tb:
+                        id_events += 1
+                if ex_events:
+                    exf[sel] += ex_events
+                if mem_events:
+                    memf[sel] += mem_events
+                if id_events:
+                    idf[sel] += id_events
+                group.gap_prev = gap
+
+            # -- lane-parallel semantics (FastEngine per-opcode code, lifted
+            # to arrays; wrap() becomes in-place add/mod/sub).  Full-batch
+            # groups — the lockstep common case — run in place on the
+            # register rows; partial groups gather/scatter by lane index.
+            taken_mask = None
+            jalr_targets = None
+            halt_now = False
+            if op == OP_ADDI:
+                if full:
+                    row = regs[ta]
+                    row += imm + HALF
+                    row %= MOD
+                    row -= HALF
+                else:
+                    value = regs[ta][lanes] + (imm + HALF)
+                    value %= MOD
+                    value -= HALF
+                    regs[ta][lanes] = value
+            elif op == OP_ADD:
+                if full:
+                    row = regs[ta]
+                    row += regs[tb]
+                    row += HALF
+                    row %= MOD
+                    row -= HALF
+                else:
+                    value = regs[ta][lanes] + regs[tb][lanes]
+                    value += HALF
+                    value %= MOD
+                    value -= HALF
+                    regs[ta][lanes] = value
+            elif op == OP_LOAD or op == OP_STORE:
+                if full:
+                    np.add(regs[tb], imm, out=scratch)
+                    scratch %= MOD
+                    address = scratch
+                else:
+                    address = (regs[tb][lanes] + imm) % MOD
+                if check_depth:
+                    faulted = address >= depth
+                    if faulted.any():
+                        bad = lanes[faulted]
+                        final_pc[bad] = pc
+                        for lane, cell in zip(bad.tolist(),
+                                              address[faulted].tolist()):
+                            errors[lane] = (f"TDM: address {cell} out of "
+                                            f"range 0..{depth - 1}")
+                            error_kinds[lane] = "MemoryError_"
+                        lanes = lanes[~faulted]
+                        if lanes.shape[0] == 0:
+                            groups.remove(group)
+                            continue
+                        group.lanes = lanes
+                        full = False
+                        sel = lanes
+                        address = address[~faulted]
+                lane_rows = rows if full else lanes
+                if op == OP_LOAD:
+                    regs[ta][sel] = mem[lane_rows, address]
+                else:
+                    mem[lane_rows, address] = regs[ta][sel]
+                    touched[lane_rows, address] = True
+            elif op == OP_BEQ or op == OP_BNE:
+                # lst == bt  <=>  (v+1) % 3 == bt+1 (values are congruent
+                # mod 3 across the balanced range).
+                if full:
+                    np.add(regs[tb], 1, out=scratch)
+                    scratch %= 3
+                    if op == OP_BEQ:
+                        np.equal(scratch, bt + 1, out=bool_scratch)
+                    else:
+                        np.not_equal(scratch, bt + 1, out=bool_scratch)
+                    taken_mask = bool_scratch
+                else:
+                    last_trit = (regs[tb][lanes] + 1) % 3
+                    if op == OP_BEQ:
+                        taken_mask = last_trit == bt + 1
+                    else:
+                        taken_mask = last_trit != bt + 1
+            elif op == OP_LI:
+                if full:
+                    row = regs[ta]
+                    np.add(row, 121, out=scratch)
+                    scratch %= 243
+                    scratch -= 121
+                    row -= scratch
+                    row += imm
+                else:
+                    value = regs[ta][lanes]
+                    regs[ta][lanes] = imm + value - ((value + 121) % 243 - 121)
+            elif op == OP_MV:
+                if full:
+                    np.copyto(regs[ta], regs[tb])
+                else:
+                    regs[ta][lanes] = regs[tb][lanes]
+            elif op == OP_SUB:
+                if full:
+                    row = regs[ta]
+                    row -= regs[tb]
+                    row += HALF
+                    row %= MOD
+                    row -= HALF
+                else:
+                    value = regs[ta][lanes] - regs[tb][lanes]
+                    value += HALF
+                    value %= MOD
+                    value -= HALF
+                    regs[ta][lanes] = value
+            elif op == OP_JAL:
+                if full:
+                    regs[ta].fill(wrap(pc + 1))
+                else:
+                    regs[ta][lanes] = wrap(pc + 1)
+            elif op == OP_JALR:
+                jalr_targets = (regs[tb][sel] + imm) % MOD
+                if full:
+                    regs[ta].fill(wrap(pc + 1))
+                else:
+                    regs[ta][lanes] = wrap(pc + 1)
+            elif op == OP_LUI:
+                if full:
+                    regs[ta].fill(wrap(imm * 243))
+                else:
+                    regs[ta][lanes] = wrap(imm * 243)
+            elif op == OP_COMP:
+                if full:
+                    row = regs[ta]
+                    row -= regs[tb]
+                    np.sign(row, out=row)
+                else:
+                    regs[ta][lanes] = np.sign(regs[ta][lanes] - regs[tb][lanes])
+            elif op == OP_SLI:
+                if full:
+                    row = regs[ta]
+                    row *= _POW3[imm % 9]
+                    row += HALF
+                    row %= MOD
+                    row -= HALF
+                else:
+                    value = regs[ta][lanes] * _POW3[imm % 9]
+                    value += HALF
+                    value %= MOD
+                    value -= HALF
+                    regs[ta][lanes] = value
+            elif op == OP_SRI:
+                power = _POW3[imm % 9]
+                half = (power - 1) // 2
+                if full:
+                    row = regs[ta]
+                    np.add(row, half, out=scratch)
+                    scratch %= power
+                    scratch -= half
+                    row -= scratch
+                    row //= power
+                else:
+                    value = regs[ta][lanes]
+                    regs[ta][lanes] = (value - ((value + half) % power - half)) // power
+            elif op == OP_SL:
+                power = pow3_np[regs[tb][sel] % 9]
+                value = regs[ta][sel] * power
+                value += HALF
+                value %= MOD
+                value -= HALF
+                regs[ta][sel] = value
+            elif op == OP_SR:
+                power = pow3_np[regs[tb][sel] % 9]
+                half = (power - 1) // 2
+                value = regs[ta][sel]
+                regs[ta][sel] = (value - ((value + half) % power - half)) // power
+            elif op == OP_AND or op == OP_OR or op == OP_XOR:
+                trits_a = trits_np[regs[ta][sel] % MOD].astype(np.int64)
+                trits_b = trits_np[regs[tb][sel] % MOD]
+                if op == OP_AND:
+                    planes = np.minimum(trits_a, trits_b)
+                elif op == OP_OR:
+                    planes = np.maximum(trits_a, trits_b)
+                else:
+                    planes = trits_a + trits_b
+                    planes += 1
+                    planes %= 3
+                    planes -= 1
+                regs[ta][sel] = planes @ pow3_np
+            elif op == OP_PTI:
+                if full:
+                    np.mod(regs[tb], MOD, out=scratch)
+                    np.take(pti_np, scratch, out=regs[ta])
+                else:
+                    regs[ta][lanes] = pti_np[regs[tb][lanes] % MOD]
+            elif op == OP_NTI:
+                if full:
+                    np.mod(regs[tb], MOD, out=scratch)
+                    np.take(nti_np, scratch, out=regs[ta])
+                else:
+                    regs[ta][lanes] = nti_np[regs[tb][lanes] % MOD]
+            elif op == OP_STI:
+                if full:
+                    np.negative(regs[tb], out=regs[ta])
+                else:
+                    regs[ta][lanes] = -regs[tb][lanes]
+            elif op == OP_ANDI:
+                trits_a = trits_np[regs[ta][sel] % MOD].astype(np.int64)
+                trits_b = trits_np[imm % MOD]
+                regs[ta][sel] = np.minimum(trits_a, trits_b) @ pow3_np
+            else:  # OP_HALT
+                halt_now = True
+
+            counts_row = counts[pc]
+            if full:
+                counts_row += 1
+            else:
+                counts_row[lanes] += 1
+            group.max_exec += 1
+
+            if halt_now:
+                halted[lanes] = True
+                final_pc[lanes] = pc + 1
+                groups.remove(group)
+                continue
+
+            if taken_mask is not None:
+                n_taken = int(taken_mask.sum())
+                if n_taken == 0:
+                    if timing:
+                        not_taken_arr[sel] += 1
+                        post_update(group, op, ta, False, imm)
+                    group.pc = pc + 1
+                elif n_taken == lanes.shape[0]:
+                    if timing:
+                        taken_arr[sel] += 1
+                        post_update(group, op, ta, True, imm)
+                    group.pc = pc + imm
+                else:
+                    taken_lanes = lanes[taken_mask]
+                    fall_lanes = lanes[~taken_mask]
+                    twin = group.split(taken_lanes)
+                    group.lanes = fall_lanes
+                    if timing:
+                        taken_arr[taken_lanes] += 1
+                        not_taken_arr[fall_lanes] += 1
+                        post_update(group, op, ta, False, imm)
+                        post_update(twin, op, ta, True, imm)
+                    group.pc = pc + 1
+                    twin.pc = pc + imm
+                    groups.append(twin)
+            elif jalr_targets is not None:
+                if timing:
+                    jumps_arr[sel] += 1
+                    # The window update is target-independent, so apply it
+                    # before splitting and let every twin inherit it.
+                    post_update(group, op, ta, False, imm)
+                targets = np.unique(jalr_targets)
+                if targets.shape[0] == 1:
+                    group.pc = int(targets[0])
+                else:
+                    for index, target in enumerate(targets.tolist()):
+                        subset = lanes[jalr_targets == target]
+                        if index == 0:
+                            group.lanes = subset
+                            group.pc = target
+                        else:
+                            twin = group.split(subset)
+                            twin.pc = target
+                            groups.append(twin)
+            else:
+                if timing:
+                    if op == OP_JAL:
+                        jumps_arr[sel] += 1
+                    post_update(group, op, ta, False, imm)
+                group.pc = pc + imm if op == OP_JAL else pc + 1
+
+            # Reconverge: groups whose PC and timing window coincide are
+            # architecturally indistinguishable and fold back into one.
+            if len(groups) > 1:
+                merged: Dict[tuple, _Group] = {}
+                for grp in groups:
+                    key = ((grp.pc,) + grp.window_key()) if timing else grp.pc
+                    kept = merged.get(key)
+                    if kept is None:
+                        merged[key] = grp
+                    else:
+                        kept.lanes = np.sort(
+                            np.concatenate((kept.lanes, grp.lanes)))
+                        kept.max_exec = max(kept.max_exec, grp.max_exec)
+                if len(merged) != len(groups):
+                    groups = list(merged.values())
+
+        # Per-lane executed counts are the column sums of the mix matrix
+        # (fault-aborted accesses were never counted, matching the scalar
+        # engines' decrement-on-fault behaviour).
+        np.sum(counts, axis=0, out=self._executed)
+
+    # -- result assembly ----------------------------------------------------
+
+    def _outcomes(self, stats_limit: Optional[int],
+                  include_results: bool = True) -> List[LaneOutcome]:
+        counts = self._counts
+        fill = self.machine.fill_cycles
+        # Aggregate the (L, B) mix matrix to per-mnemonic lane vectors once,
+        # so per-lane mix assembly touches <= 25 entries instead of scanning
+        # an L-row column for every lane.
+        mnemonic_rows: Dict[str, List[int]] = {}
+        for index, record in enumerate(self._records):
+            mnemonic_rows.setdefault(_MNEMONIC_OF[record[0]], []).append(index)
+        mnemonic_counts = [
+            (mnemonic, counts[row_indices].sum(axis=0).tolist())
+            for mnemonic, row_indices in mnemonic_rows.items()
+        ]
+        executed = self._executed.tolist()
+        halted_list = self._halted.tolist()
+        final_pcs = self._final_pc.tolist()
+        if stats_limit is not None:
+            stalls = self._t_stalls.tolist()
+            flushes = self._t_flushes.tolist()
+            taken = self._t_taken.tolist()
+            not_taken = self._t_not_taken.tolist()
+            jumps = self._t_jumps.tolist()
+            exf = self._t_exf.tolist()
+            memf = self._t_memf.tolist()
+            idf = self._t_idf.tolist()
+        outcomes: List[LaneOutcome] = []
+        for lane in range(self._batch):
+            if self._errors[lane] is not None:
+                outcomes.append(LaneOutcome(
+                    lane=lane,
+                    error=self._errors[lane],
+                    error_kind=self._error_kinds[lane],
+                ))
+                continue
+            mix = {mnemonic: lane_counts[lane]
+                   for mnemonic, lane_counts in mnemonic_counts
+                   if lane_counts[lane]}
+            committed = executed[lane]
+            stats = None
+            if stats_limit is not None:
+                cycles = committed + fill + stalls[lane] + flushes[lane]
+                if cycles > stats_limit:
+                    outcomes.append(LaneOutcome(
+                        lane=lane,
+                        error=f"program did not halt within {stats_limit} cycles",
+                        error_kind="SimulationError",
+                    ))
+                    continue
+                stats = PipelineStats(
+                    cycles=cycles,
+                    instructions_committed=committed,
+                    load_use_stalls=stalls[lane],
+                    control_flush_bubbles=flushes[lane],
+                    taken_branches=taken[lane],
+                    not_taken_branches=not_taken[lane],
+                    jumps=jumps[lane],
+                    ex_forwards=exf[lane],
+                    mem_forwards=memf[lane],
+                    id_forwards=idf[lane],
+                    instruction_mix=dict(mix),
+                )
+            result = None
+            if include_results:
+                addresses = np.nonzero(self._touched[lane])[0]
+                memory = {int(address): int(self._mem[lane, address])
+                          for address in addresses.tolist()}
+                registers = {register_name(index): int(self._regs[index, lane])
+                             for index in range(NUM_REGISTERS)}
+                result = ExecutionResult(
+                    instructions_executed=committed,
+                    halted=halted_list[lane],
+                    registers=registers,
+                    pc=final_pcs[lane],
+                    instruction_mix=mix,
+                    memory=memory,
+                )
+            outcomes.append(LaneOutcome(lane=lane, result=result, stats=stats))
+        return outcomes

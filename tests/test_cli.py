@@ -87,11 +87,11 @@ class TestBench:
 
         path = str(tmp_path / "bench.json")
         assert main(["bench", "--json", path, "--repeat", "1",
-                     "--no-sweep-timing"]) == 0
+                     "--no-sweep-timing", "--batch-lanes", "8"]) == 0
         assert "bench record written" in capsys.readouterr().out
         with open(path, "r", encoding="utf-8") as handle:
             record = json.load(handle)
-        assert record["format"] == 2
+        assert record["format"] == 3
         labels = {row["label"] for row in record["workloads"]}
         assert "dhrystone[iterations=500]" in labels
         for row in record["workloads"]:
@@ -103,6 +103,14 @@ class TestBench:
         for row in record["machines"]:
             assert row["engines_agree"] is True
             assert row["cycles"] > 0
+        batch_workloads = {row["workload"] for row in record["batch"]}
+        assert batch_workloads == {"bubble_sort", "gemm"}
+        for row in record["batch"]:
+            assert row["engines_agree"] is True
+            assert row["lanes"] == 8
+            assert row["jobs_per_second"] > 0
+            assert row["serial_jobs_per_second"] > 0
+            assert row["batch_speedup"] > 0
         assert "sweep" not in record  # --no-sweep-timing
 
     def test_bench_json_rejects_workload_and_engine_selection(self, tmp_path,
@@ -124,6 +132,41 @@ class TestFuzz:
     def test_fuzz_without_pipeline_crosscheck(self, capsys):
         assert main(["fuzz", "--count", "5", "--seed", "11", "--no-pipeline"]) == 0
         assert "5 programs" in capsys.readouterr().out
+
+    def test_fuzz_batched_lanes(self, capsys):
+        assert main(["fuzz", "--count", "5", "--seed", "7",
+                     "--batch-lanes", "3"]) == 0
+        assert "5 programs" in capsys.readouterr().out
+
+    def test_fuzz_rejects_negative_batch_lanes(self, capsys):
+        assert main(["fuzz", "--count", "2", "--batch-lanes", "-1"]) == 2
+        assert "--batch-lanes must be >= 0" in capsys.readouterr().err
+
+
+class TestSweepInputValidation:
+    def test_params_malformed_json_is_a_spec_error(self, tmp_path, capsys):
+        assert main(["sweep", "--out", str(tmp_path / "run"),
+                     "--workloads", "bubble_sort",
+                     "--params", "{not json"]) == 2
+        err = capsys.readouterr().err
+        assert "art9 sweep:" in err
+        assert "--params is not valid JSON" in err
+        assert "{not json" in err  # names the offending text
+
+    def test_params_non_dict_json_is_a_spec_error(self, tmp_path, capsys):
+        assert main(["sweep", "--out", str(tmp_path / "run"),
+                     "--workloads", "bubble_sort",
+                     "--params", "[1,2]"]) == 2
+        err = capsys.readouterr().err
+        assert "art9 sweep:" in err
+        assert "--params must be a JSON object" in err
+        assert "[1,2]" in err
+
+    def test_batch_flag_rejected_with_queue_backend(self, tmp_path, capsys):
+        assert main(["sweep", "--out", str(tmp_path / "run"),
+                     "--workloads", "bubble_sort",
+                     "--batch", "--backend", "queue"]) == 2
+        assert "--batch" in capsys.readouterr().err
 
 
 class TestMetaCommands:

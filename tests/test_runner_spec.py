@@ -176,6 +176,19 @@ class TestRunStore:
             assert store.records() == []
         assert any("non-record JSON" in message for message in caplog.messages)
 
+    def test_missing_job_id_is_warned_and_skipped(self, tmp_path, caplog):
+        store = RunStore(str(tmp_path / "run"))
+        store.initialize(SweepSpec(workloads=("gemm",)))
+        store.append(self._record("aaa"))
+        # A record without a job_id can't participate in resume or dedup;
+        # dropping it must be as loud as dropping a torn line.
+        store.append({"status": "ok", "cycles": 12})
+        with caplog.at_level(logging.WARNING, logger="repro.runner.store"):
+            records = store.records()
+        assert [r["job_id"] for r in records] == ["aaa"]
+        assert any("without a job_id on line 2" in message
+                   for message in caplog.messages)
+
     def test_resume_survives_a_torn_final_line(self, tmp_path):
         """The satellite's end-to-end claim: a run killed mid-write resumes
         instead of crashing, recomputing only the torn job."""

@@ -56,6 +56,23 @@ class TestIngest:
             with pytest.raises(StoreError):
                 db.ingest(str(tmp_path / "not-a-run"))
 
+    def test_null_machine_normalizes_to_the_default(self, tmp_path):
+        # Records written before the machine axis existed either omit the
+        # key or carry an explicit null; both mean the paper machine, and
+        # neither may ingest as the literal string "None".
+        from repro.sim.machine import DEFAULT_MACHINE_NAME
+
+        store = RunStore(str(tmp_path / "run"))
+        store.initialize(SweepSpec(workloads=("bubble_sort",)))
+        store.append({"job_id": "aaa", "workload": "bubble_sort",
+                      "engine": "fast", "status": "ok", "machine": None})
+        store.append({"job_id": "bbb", "workload": "bubble_sort",
+                      "engine": "fast", "status": "ok"})
+        with ResultsDB() as db:
+            db.ingest(str(tmp_path / "run"))
+            assert len(db.query(machine=DEFAULT_MACHINE_NAME)) == 2
+            assert db.query(machine="None") == []
+
     def test_file_backed_db_persists(self, two_identical_runs, tmp_path):
         a, _ = two_identical_runs
         path = str(tmp_path / "results.sqlite")
