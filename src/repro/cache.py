@@ -56,6 +56,8 @@ import tempfile
 import threading
 from typing import Dict, Optional
 
+from repro.obs import metrics
+
 #: Environment variable overriding the default cache root.
 CACHE_DIR_ENV = "ART9_CACHE_DIR"
 #: Environment variable disabling the shared default cache entirely.
@@ -78,6 +80,13 @@ class ArtifactCache:
         self.misses = 0
         self.writes = 0
 
+    @staticmethod
+    def _record(kind: str, event: str, size: int = 0) -> None:
+        """Tally one cache event per kind in the process metrics registry."""
+        metrics.counter(f"cache.{kind}.{event}").inc()
+        if size:
+            metrics.counter(f"cache.{kind}.{event}_bytes").inc(size)
+
     # -- addressing ---------------------------------------------------------
 
     def path_for(self, kind: str, key: str) -> str:
@@ -94,15 +103,25 @@ class ArtifactCache:
         """
         path = self.path_for(kind, cache_key(key_material))
         try:
-            with open(path, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            with open(path, "rb") as handle:
+                blob = handle.read()
+        except OSError:
             self.misses += 1
+            self._record(kind, "misses")
             return None
+        try:
+            payload = json.loads(blob.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            payload = None
         if not isinstance(payload, dict):
+            # Torn write or foreign junk: a corruption is a miss, but one
+            # worth its own counter — a growing rate means disk trouble.
             self.misses += 1
+            self._record(kind, "misses")
+            self._record(kind, "corruptions")
             return None
         self.hits += 1
+        self._record(kind, "hits", len(blob))
         return payload
 
     def put_json(self, kind: str, key_material: dict, payload: dict) -> str:
@@ -113,14 +132,15 @@ class ArtifactCache:
         caller simply keeps its freshly built artifact.
         """
         path = self.path_for(kind, cache_key(key_material))
+        blob = json.dumps(payload, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
         try:
             os.makedirs(os.path.dirname(path), exist_ok=True)
             fd, temp_path = tempfile.mkstemp(
                 dir=os.path.dirname(path), suffix=".tmp")
             try:
-                with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    json.dump(payload, handle, sort_keys=True,
-                              separators=(",", ":"))
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(blob)
                 os.replace(temp_path, path)
             except BaseException:
                 try:
@@ -129,6 +149,7 @@ class ArtifactCache:
                     pass
                 raise
             self.writes += 1
+            self._record(kind, "writes", len(blob))
         except OSError:
             pass
         return path

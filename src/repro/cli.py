@@ -9,6 +9,8 @@ Subcommands::
     art9 serve                     coordinate a sweep for remote workers (TCP)
     art9 work                      execute jobs for a remote coordinator
     art9 report                    paper tables (II-V, Fig. 5) from sweep runs
+    art9 status                    sweep telemetry (live coordinator or run dir)
+    art9 profile <workload>        hot-block execution profile (compiled engine)
     art9 fuzz                      differential-fuzz the five ART-9 executors
     art9 hw                        print the gate-level / FPGA analysis
     art9 workloads                 list the bundled benchmark workloads
@@ -49,6 +51,7 @@ from typing import List, Optional
 
 from repro.baselines import PicoRV32Model, VexRiscvModel
 from repro.framework import HardwareFramework, SoftwareFramework
+from repro.obs import trace
 from repro.framework.hwflow import SIMULATION_ENGINES
 from repro.runner import (
     ALL_ENGINES,
@@ -72,6 +75,7 @@ from repro.service import (
     SerialBackend,
     build_report,
     render_report,
+    request_status,
     work,
 )
 from repro.service.protocol import DEFAULT_PORT
@@ -349,6 +353,12 @@ def _cmd_bench_json(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     if args.json_path:
+        if os.path.exists(args.json_path) and not args.force:
+            # BENCH_*.json files are committed trajectory points; clobbering
+            # one by rerunning the same command must be a deliberate act.
+            print(f"art9 bench: {args.json_path} already exists; pass "
+                  "--force to overwrite it", file=sys.stderr)
+            return 2
         if args.workloads or args.engine != "fast" \
                 or args.machine != DEFAULT_MACHINE_NAME:
             # --json times a fixed fast-vs-compiled variant set (and already
@@ -438,6 +448,19 @@ def _finish_sweep(args: argparse.Namespace, outcome) -> int:
     return 0 if outcome.ok else 1
 
 
+def _enable_trace(out_dir: str) -> None:
+    """Turn span tracing on for this process and every spawned worker.
+
+    The switch travels as environment variables because worker processes
+    (multiprocessing pool, local queue workers) inherit the environment on
+    spawn and ``repro.runner.worker`` re-reads it at import time.
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    os.environ[trace.TRACE_ENV] = "1"
+    os.environ[trace.TRACE_FILE_ENV] = os.path.join(out_dir, "spans.jsonl")
+    trace.configure_from_env()
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     try:
         return _run_sweep_command(args)
@@ -459,6 +482,8 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
             print(f"{row['job_id']}  {row['status']:8s} {row['label']}")
         return 0
 
+    if args.trace:
+        _enable_trace(args.out)
     if args.batch and args.backend == "queue":
         raise SpecError(
             "--batch groups jobs inside a local worker; the queue backend "
@@ -499,6 +524,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"    art9 work --connect {reachable}:{port}")
         sys.stdout.flush()
 
+    if args.trace:
+        _enable_trace(args.out)
     backend = AsyncQueueBackend(
         workers=args.local_workers,
         host=args.host,
@@ -559,6 +586,167 @@ def _cmd_report(args: argparse.Namespace) -> int:
     else:
         print(document, end="")
     return 0 if all(table.ok for table in tables) else 1
+
+
+def _split_address(command: str, address: str):
+    host, _, port = address.rpartition(":")
+    if not host or not port.isdigit():
+        print(f"art9 {command}: --connect expects HOST:PORT, got {address!r}",
+              file=sys.stderr)
+        return None
+    return host, int(port)
+
+
+def _status_live(address: str) -> int:
+    parsed = _split_address("status", address)
+    if parsed is None:
+        return 2
+    host, port = parsed
+    try:
+        status = request_status(host, port)
+    except (OSError, ConnectionError, json.JSONDecodeError) as exc:
+        print(f"art9 status: cannot query coordinator at {address}: {exc}",
+              file=sys.stderr)
+        return 2
+    print(f"jobs      {status['done']}/{status['jobs_total']} done, "
+          f"{status['in_flight']} in flight, {status['queue_depth']} queued")
+    print(f"health    {status['requeues']} requeues, "
+          f"{status['lost_jobs']} lost, "
+          f"{status['duplicate_results']} duplicate results")
+    workers = status.get("workers", {})
+    print(f"workers   {status['connected_workers']} connected, "
+          f"{len(workers)} seen")
+    for name in sorted(workers):
+        stats = workers[name]
+        print(f"  {name:28s} {stats['jobs_done']:>4d} done  "
+              f"{stats['requeues']:>3d} requeued  "
+              f"heartbeat {stats['heartbeat_age_s']:6.1f}s ago")
+    return 0
+
+
+def _record_phase_seconds(record: dict) -> Optional[float]:
+    timings = record.get("timings")
+    if not isinstance(timings, dict):
+        return None
+    return sum(float(timings.get(key) or 0.0)
+               for key in ("xlate_s", "codegen_s", "execute_s"))
+
+
+def _status_run_dir(run_dir: str) -> int:
+    store = RunStore(run_dir)
+    if not store.exists():
+        print(f"art9 status: {run_dir!r} is not a sweep run directory "
+              "(no spec.json)", file=sys.stderr)
+        return 2
+    records = store.records()
+    try:
+        total_jobs = len(store.load_spec().expand())
+    except (SpecError, json.JSONDecodeError):
+        total_jobs = len(records)
+    ok = [r for r in records if r.get("status") == "ok"]
+    print(f"run       {run_dir}")
+    print(f"jobs      {len(ok)}/{total_jobs} ok, "
+          f"{len(records) - len(ok)} failed")
+    phases = {"xlate_s": 0.0, "codegen_s": 0.0, "execute_s": 0.0}
+    timed = 0
+    for record in records:
+        timings = record.get("timings")
+        if isinstance(timings, dict):
+            timed += 1
+            for key in phases:
+                phases[key] += float(timings.get(key) or 0.0)
+    if timed:
+        print(f"phases    xlate {phases['xlate_s']:.3f} s   "
+              f"codegen {phases['codegen_s']:.3f} s   "
+              f"execute {phases['execute_s']:.3f} s   "
+              f"({timed}/{len(records)} records timed)")
+    else:
+        print("phases    no records carry phase timings (written before the "
+              "instrumentation existed)")
+    known = [r for r in records if r.get("cache_hit") is not None]
+    if known:
+        hits = sum(1 for r in known if r["cache_hit"])
+        print(f"cache     {hits}/{len(known)} translation cache hits "
+              f"({hits / len(known):.0%})")
+    slow = [(seconds, record) for record in records
+            for seconds in [_record_phase_seconds(record)
+                            or record.get("elapsed_s")]
+            if seconds is not None]
+    slow.sort(key=lambda pair: pair[0], reverse=True)
+    if slow:
+        print("slowest jobs:")
+        for seconds, record in slow[:5]:
+            print(f"  {record.get('label', record.get('job_id')):42s} "
+                  f"{seconds:9.3f} s")
+    spans_path = os.path.join(run_dir, "spans.jsonl")
+    if os.path.exists(spans_path):
+        spans = trace.read_spans(spans_path)
+        print(f"trace     {len(spans)} spans in {spans_path}")
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    if bool(args.connect) == bool(args.run_dir):
+        print("art9 status: pass exactly one of RUN_DIR or --connect "
+              "HOST:PORT", file=sys.stderr)
+        return 2
+    if args.connect:
+        return _status_live(args.connect)
+    return _status_run_dir(args.run_dir)
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.sim.compiled import CompiledEngine
+
+    params = {}
+    if args.params:
+        try:
+            params = json.loads(args.params)
+        except json.JSONDecodeError as exc:
+            print(f"art9 profile: --params is not valid JSON ({exc})",
+                  file=sys.stderr)
+            return 2
+        if not isinstance(params, dict):
+            print("art9 profile: --params must be a JSON object of workload "
+                  "parameters", file=sys.stderr)
+            return 2
+    software = SoftwareFramework(optimize=not args.no_optimize)
+    try:
+        program, _, _ = software.compile_named_workload(args.workload, params)
+    except (KeyError, TypeError) as exc:
+        print(f"art9 profile: {exc}", file=sys.stderr)
+        return 2
+    engine = CompiledEngine(program, machine=args.machine, profile=True)
+    stats = engine.run_with_stats(max_cycles=args.max_cycles)
+    rows = engine.block_profile()
+    rows.sort(key=lambda row: (-row["instructions"], row["pc"]))
+    executed = engine.instructions_executed
+    print(f"{args.workload}: {stats.cycles} cycles, "
+          f"{executed} instructions, CPI {stats.cpi:.3f}, "
+          f"{len(rows)} superblocks executed")
+    print()
+    header = (f"{'PC':>6s} {'executions':>12s} {'length':>7s} "
+              f"{'instructions':>13s} {'share':>7s}  cumulative")
+    print(header)
+    print("-" * len(header))
+    cumulative = 0
+    for row in rows[:args.top]:
+        cumulative += row["instructions"]
+        print(f"{row['pc']:>6d} {row['executions']:>12d} {row['length']:>7d} "
+              f"{row['instructions']:>13d} "
+              f"{row['instructions'] / executed:>6.1%}  "
+              f"{cumulative / executed:>6.1%}")
+    if len(rows) > args.top:
+        rest = sum(row["instructions"] for row in rows[args.top:])
+        print(f"... {len(rows) - args.top} more blocks accounting for "
+              f"{rest} instructions ({rest / executed:.1%})")
+    accounted = sum(row["instructions"] for row in rows)
+    if accounted != executed:
+        print(f"art9 profile: block counters account for {accounted} "
+              f"instructions but the engine executed {executed} — "
+              "profile instrumentation bug", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -663,6 +851,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "(fast vs compiled per workload plus cold/warm "
                             "smoke-sweep wall time); seeds the BENCH_*.json "
                             "trajectory")
+    bench.add_argument("--force", action="store_true",
+                       help="overwrite an existing --json PATH (refused "
+                            "otherwise: the BENCH_*.json records are "
+                            "committed measurement points)")
     bench.add_argument("--repeat", type=int, default=3,
                        help="timing repetitions per engine in --json mode "
                             "(best-of; default: 3)")
@@ -699,6 +891,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "multiprocessing backends only)")
     sweep.add_argument("--no-resume", action="store_true",
                        help="discard existing results in --out and recompute")
+    sweep.add_argument("--trace", action="store_true",
+                       help="record execution spans (translation, simulation, "
+                            "per-job) to <out>/spans.jsonl; off by default "
+                            "and free when off")
     sweep.add_argument("--list", action="store_true", dest="list_jobs",
                        help="list the expanded jobs and their status, then exit")
     sweep.add_argument("--compare", nargs=2, metavar=("RUN_A", "RUN_B"),
@@ -725,6 +921,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="dispatch retries before a job is declared lost")
     serve.add_argument("--no-resume", action="store_true",
                        help="discard existing results in --out and recompute")
+    serve.add_argument("--trace", action="store_true",
+                       help="record execution spans to <out>/spans.jsonl "
+                            "(local workers only; remote workers trace into "
+                            "their own ART9_TRACE_FILE if set)")
     serve.set_defaults(func=_cmd_serve)
 
     work_cmd = subparsers.add_parser(
@@ -754,6 +954,37 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--out", default=None,
                         help="write the report here instead of stdout")
     report.set_defaults(func=_cmd_report)
+
+    status = subparsers.add_parser(
+        "status",
+        help="sweep telemetry: live coordinator snapshot or run-dir summary")
+    status.add_argument("run_dir", nargs="?", metavar="RUN_DIR", default=None,
+                        help="finished/in-progress run directory to summarise "
+                             "(phase timings, cache hit rate, slowest jobs)")
+    status.add_argument("--connect", metavar="HOST:PORT", default=None,
+                        help="query a live art9 serve coordinator instead "
+                             "(queue depth, in-flight jobs, per-worker stats); "
+                             "safe against a running sweep")
+    status.set_defaults(func=_cmd_status)
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="hot-block execution profile of one workload (compiled engine)")
+    profile.add_argument("workload", help="workload name (see `art9 workloads`)")
+    profile.add_argument("--params", default=None,
+                         help='JSON workload parameters, e.g. \'{"n": 8}\'')
+    profile.add_argument("--machine", choices=machine_names(),
+                         default=DEFAULT_MACHINE_NAME,
+                         help="machine (microarchitecture) config "
+                              f"(default: {DEFAULT_MACHINE_NAME})")
+    profile.add_argument("--top", type=int, default=20,
+                         help="rows to print (default: 20)")
+    profile.add_argument("--no-optimize", action="store_true",
+                         help="profile the unoptimized translation")
+    profile.add_argument("--max-cycles", type=int, default=DEFAULT_MAX_CYCLES,
+                         help="cycle budget (default: "
+                              f"{DEFAULT_MAX_CYCLES})")
+    profile.set_defaults(func=_cmd_profile)
 
     fuzz_cmd = subparsers.add_parser(
         "fuzz", help="differential-fuzz all five executors (functional, "

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, Optional, Tuple
 
 from repro.hweval.analyzer import GateLevelAnalyzer, GateLevelReport
@@ -102,7 +103,8 @@ class HardwareFramework:
 
     def simulate_with_state(self, program: Program, max_cycles: int = 50_000_000,
                             engine: Optional[str] = None,
-                            machine: Optional[MachineConfig] = None
+                            machine: Optional[MachineConfig] = None,
+                            timings: Optional[Dict[str, float]] = None
                             ) -> Tuple[PipelineStats, Dict[str, int], Dict[int, int]]:
         """Simulate and return ``(stats, registers, touched memory)``.
 
@@ -111,24 +113,37 @@ class HardwareFramework:
         digest of the final machine state and regression comparisons can
         catch architectural drift, not just cycle drift.  ``machine``
         overrides the framework's configured machine for this call.
+
+        When a ``timings`` dict is passed it is populated with a
+        ``codegen_s`` / ``execute_s`` phase breakdown: engine construction
+        plus (for the compiled engine) superblock codegen or bundle
+        loading, versus the actual run.  The breakdown observes the clock
+        only — simulation behaviour is identical with or without it.
         """
         engine = engine or self.engine
         machine = self.machine if machine is None else resolve_machine(machine)
+        built = perf_counter()
         if engine == "fast":
-            fast = FastEngine(program, machine=machine)
-            stats = fast.run_with_stats(max_cycles=max_cycles)
-            return stats, fast.register_snapshot(), fast.tdm.contents()
-        if engine == "compiled":
-            compiled = CompiledEngine(program, machine=machine)
-            stats = compiled.run_with_stats(max_cycles=max_cycles)
-            return stats, compiled.register_snapshot(), compiled.tdm.contents()
+            runner = FastEngine(program, machine=machine)
+        elif engine == "compiled":
+            runner = CompiledEngine(program, machine=machine)
+            runner.prepare(timing=True)
+        elif engine == "pipeline":
+            runner = PipelineSimulator(program, machine=machine)
+        else:
+            raise ValueError(
+                f"unknown simulation engine {engine!r}; known: {SIMULATION_ENGINES}"
+            )
+        started = perf_counter()
         if engine == "pipeline":
-            simulator = PipelineSimulator(program, machine=machine)
-            stats = simulator.run(max_cycles=max_cycles)
-            return stats, simulator.register_snapshot(), simulator.tdm.contents()
-        raise ValueError(
-            f"unknown simulation engine {engine!r}; known: {SIMULATION_ENGINES}"
-        )
+            stats = runner.run(max_cycles=max_cycles)
+        else:
+            stats = runner.run_with_stats(max_cycles=max_cycles)
+        finished = perf_counter()
+        if timings is not None:
+            timings["codegen_s"] = started - built
+            timings["execute_s"] = finished - started
+        return stats, runner.register_snapshot(), runner.tdm.contents()
 
     def analyze_gates(self) -> GateLevelReport:
         """Run the gate-level analyzer for the configured technology."""

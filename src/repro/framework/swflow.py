@@ -3,10 +3,12 @@
 from __future__ import annotations
 
 import hashlib
+import time
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Tuple
 
 from repro.cache import default_cache
+from repro.obs import metrics, trace
 from repro.isa.assembler import assemble
 from repro.isa.program import Program
 from repro.riscv.assembler import assemble_riscv
@@ -131,6 +133,11 @@ class SoftwareFramework:
             WorkloadKey, Tuple[Program, TranslationReport, Workload]] = {}
         self._summary_cache: Dict[
             WorkloadKey, Tuple[Program, TranslationSummary, Workload]] = {}
+        #: Provenance of the most recent ``compile_named_workload_cached``
+        #: result: ``"memo"`` (in-process), ``"cache"`` (artifact cache),
+        #: or ``"built"`` (translated from scratch).  Sweep workers read
+        #: this to stamp a ``cache_hit`` flag on their records.
+        self.last_compile_source: Optional[str] = None
 
     def compile_riscv_assembly(self, source: str, name: str = "program"
                                ) -> Tuple[Program, TranslationReport]:
@@ -191,7 +198,9 @@ class SoftwareFramework:
         key = workload_key(name, params)
         memo = self._summary_cache.get(key)
         if memo is not None:
+            self.last_compile_source = "memo"
             return memo
+        started = time.perf_counter()
         workload = get_workload(name, **dict(params or {}))
         key_material = {
             "workload": name,
@@ -214,8 +223,12 @@ class SoftwareFramework:
                     resolved = None  # malformed artifact: fall through
                 if resolved is not None:
                     self._summary_cache[key] = resolved
+                    self.last_compile_source = "cache"
+                    self._note_xlate(name, resolved[1],
+                                     time.perf_counter() - started, "cache")
                     return resolved
-        program, report, workload = self.compile_named_workload(name, params)
+        with trace.span("xlate", workload=name):
+            program, report, workload = self.compile_named_workload(name, params)
         summary = TranslationSummary.from_report(report)
         if cache is not None:
             cache.put_json("xlate", key_material, {
@@ -224,7 +237,19 @@ class SoftwareFramework:
             })
         resolved = (program, summary, workload)
         self._summary_cache[key] = resolved
+        self.last_compile_source = "built"
+        self._note_xlate(name, summary, time.perf_counter() - started, "built")
         return resolved
+
+    @staticmethod
+    def _note_xlate(name: str, summary: "TranslationSummary",
+                    elapsed: float, source: str) -> None:
+        """Record translation telemetry (wall time + instruction counts)."""
+        metrics.histogram("xlate.seconds").observe(elapsed)
+        metrics.counter(f"xlate.{source}").inc()
+        metrics.counter("xlate.rv_instructions").inc(summary.rv_instructions)
+        metrics.counter("xlate.final_instructions").inc(
+            summary.final_instructions)
 
     @staticmethod
     def assemble_ternary(source: str, name: str = "program") -> Program:

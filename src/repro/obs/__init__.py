@@ -1,0 +1,43 @@
+"""Observability layer: process-local metrics + span tracing.
+
+``repro.obs.metrics`` is the always-on (but near-free) counter/gauge/
+histogram registry the engines, cache, workers, and coordinator record
+into; ``repro.obs.trace`` is the off-by-default span tracer that writes
+``spans.jsonl`` into the run directory when ``--trace`` / ``ART9_TRACE=1``
+is set.  See ``art9 status`` and ``art9 profile`` for the CLI surface.
+"""
+
+from repro.obs import metrics, trace
+from repro.obs.metrics import (
+    MetricsRegistry,
+    REGISTRY,
+    counter,
+    gauge,
+    histogram,
+    merge_snapshot,
+    snapshot,
+)
+from repro.obs.trace import (
+    TRACE_ENV,
+    TRACE_FILE_ENV,
+    configure_from_env,
+    read_spans,
+    span,
+)
+
+__all__ = [
+    "metrics",
+    "trace",
+    "MetricsRegistry",
+    "REGISTRY",
+    "counter",
+    "gauge",
+    "histogram",
+    "merge_snapshot",
+    "snapshot",
+    "TRACE_ENV",
+    "TRACE_FILE_ENV",
+    "configure_from_env",
+    "read_spans",
+    "span",
+]

@@ -1,0 +1,230 @@
+"""Lightweight, stdlib-only metrics: named counters, gauges, histograms.
+
+The registry is the telemetry substrate for the whole stack — engines,
+artifact cache, sweep workers, and the coordinator all record into it.
+Design constraints, in order:
+
+1. **Cheap increments.**  ``counter()`` / ``gauge()`` return plain mutable
+   handle objects whose hot-path operation is one attribute add — no dict
+   lookup, no lock, no string formatting.  Call sites that sit inside
+   per-instruction loops should resolve the handle once (module or object
+   attribute) and accumulate locally, flushing once per run.
+2. **Process-local snapshots.**  ``to_dict()`` freezes the registry into
+   plain JSON-able data.  Worker processes snapshot at job end and ship
+   the snapshot home in their records or over the wire.
+3. **Mergeable.**  ``merge()`` folds one snapshot into another so the
+   parent can aggregate a whole fleet: counters add, gauges keep the
+   latest non-None (max for ``*_max`` names), histograms concatenate
+   their bucket counts.
+
+Thread-safety: increments are plain ``+=`` on Python ints under the GIL,
+which is atomic enough for monotonically growing counters whose consumers
+tolerate a snapshot being a few increments stale.  Snapshot/merge take no
+locks for the same reason.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+class Counter:
+    """A monotonically increasing count (optionally with a byte tally)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A point-in-time value (queue depth, in-flight count, high-water marks).
+
+    Gauges whose name ends in ``_max`` merge by ``max()`` instead of
+    last-writer-wins, which is the natural aggregation for high-water
+    marks across workers.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def set_max(self, value: float) -> None:
+        if self.value is None or value > self.value:
+            self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Gauge({self.name}={self.value})"
+
+
+#: Default histogram bucket upper bounds (seconds-oriented, log-ish spacing).
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0)
+
+
+class Histogram:
+    """A fixed-bucket histogram with count/sum/min/max summary stats."""
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total",
+                 "minimum", "maximum")
+
+    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS):
+        self.name = name
+        self.bounds = tuple(bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Histogram({self.name} n={self.count} mean={self.mean:.6f})"
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges, and histograms."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- handle resolution (cheap after the first call per name) ------------
+
+    def counter(self, name: str) -> Counter:
+        handle = self._counters.get(name)
+        if handle is None:
+            handle = self._counters[name] = Counter(name)
+        return handle
+
+    def gauge(self, name: str) -> Gauge:
+        handle = self._gauges.get(name)
+        if handle is None:
+            handle = self._gauges[name] = Gauge(name)
+        return handle
+
+    def histogram(self, name: str,
+                  bounds: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        handle = self._histograms.get(name)
+        if handle is None:
+            handle = self._histograms[name] = Histogram(name, bounds)
+        return handle
+
+    # -- snapshots -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Freeze the registry into plain JSON-able data."""
+        snapshot: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name, counter in sorted(self._counters.items()):
+            snapshot["counters"][name] = counter.value
+        for name, gauge in sorted(self._gauges.items()):
+            snapshot["gauges"][name] = gauge.value
+        for name, histogram in sorted(self._histograms.items()):
+            snapshot["histograms"][name] = {
+                "bounds": list(histogram.bounds),
+                "bucket_counts": list(histogram.bucket_counts),
+                "count": histogram.count,
+                "sum": histogram.total,
+                "min": histogram.minimum,
+                "max": histogram.maximum,
+            }
+        return snapshot
+
+    def merge(self, snapshot: Mapping) -> None:
+        """Fold a ``to_dict()`` snapshot (e.g. from a worker) into this
+        registry: counters add, gauges keep the newest non-None value
+        (``max`` for ``*_max`` names), histograms add bucket-wise when the
+        bounds agree (and fall back to summary-only accumulation when they
+        do not)."""
+        for name, value in (snapshot.get("counters") or {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in (snapshot.get("gauges") or {}).items():
+            if value is None:
+                continue
+            if name.endswith("_max"):
+                self.gauge(name).set_max(value)
+            else:
+                self.gauge(name).set(value)
+        for name, data in (snapshot.get("histograms") or {}).items():
+            bounds = tuple(data.get("bounds") or DEFAULT_BUCKETS)
+            histogram = self.histogram(name, bounds)
+            incoming_counts: List[int] = list(data.get("bucket_counts") or [])
+            if histogram.bounds == bounds and \
+                    len(incoming_counts) == len(histogram.bucket_counts):
+                for index, bucket in enumerate(incoming_counts):
+                    histogram.bucket_counts[index] += int(bucket)
+            histogram.count += int(data.get("count") or 0)
+            histogram.total += float(data.get("sum") or 0.0)
+            for extreme, pick in (("min", min), ("max", max)):
+                value = data.get(extreme)
+                if value is None:
+                    continue
+                current = getattr(histogram, "minimum" if extreme == "min"
+                                  else "maximum")
+                setattr(histogram, "minimum" if extreme == "min" else "maximum",
+                        value if current is None else pick(current, value))
+
+    def reset(self) -> None:
+        """Drop every metric (test isolation helper)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+#: The process-wide default registry every instrumented module records into.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str) -> Counter:
+    """Resolve a counter handle on the default registry."""
+    return REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """Resolve a gauge handle on the default registry."""
+    return REGISTRY.gauge(name)
+
+
+def histogram(name: str, bounds: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+    """Resolve a histogram handle on the default registry."""
+    return REGISTRY.histogram(name, bounds)
+
+
+def snapshot() -> dict:
+    """``to_dict()`` of the default registry."""
+    return REGISTRY.to_dict()
+
+
+def merge_snapshot(data: Mapping) -> None:
+    """Merge a worker snapshot into the default registry."""
+    REGISTRY.merge(data)
+
+
+def reset() -> None:
+    """Reset the default registry (test isolation helper)."""
+    REGISTRY.reset()

@@ -29,9 +29,12 @@ RESULTS_FILENAME = "results.jsonl"
 SUMMARY_FILENAME = "summary.txt"
 
 #: Record fields that legitimately differ between two executions of the
-#: same job (wall clock, scheduling): excluded from run comparison and from
-#: the canonical form used by cross-backend conformance and DB dedup.
-VOLATILE_RECORD_FIELDS = ("elapsed_s", "worker_pid")
+#: same job (wall clock, scheduling, cache temperature): excluded from run
+#: comparison and from the canonical form used by cross-backend
+#: conformance and DB dedup.  ``timings`` (the per-phase breakdown) and
+#: ``cache_hit`` are observations about *how* a job ran, never about what
+#: it computed, so they are volatile by construction.
+VOLATILE_RECORD_FIELDS = ("elapsed_s", "worker_pid", "timings", "cache_hit")
 
 
 def canonical_record(record: dict) -> str:

@@ -26,6 +26,7 @@ from typing import Dict, Optional, Tuple
 from repro.baselines import ARMv6MCodeSizeModel, PicoRV32Model, VexRiscvModel
 from repro.framework.hwflow import HardwareFramework
 from repro.framework.swflow import SoftwareFramework, WorkloadKey, workload_key
+from repro.obs import trace
 from repro.riscv.simulator import RVSimulator
 from repro.runner.spec import BASELINE_ENGINES, SweepJob
 from repro.sim.batch import BatchEngine, batchable_programs
@@ -36,6 +37,11 @@ from repro.testing import fuzz as run_fuzz
 from repro.testing import fuzz_batched as run_fuzz_batched
 from repro.workloads import get_workload
 from repro.workloads.base import Workload
+
+# Spawned worker processes inherit ART9_TRACE/ART9_TRACE_FILE from the
+# parent (the CLI sets them before the backend starts), so picking the
+# tracing decision up at import time covers every start method.
+trace.configure_from_env()
 
 #: Per-process framework caches (populated lazily; survive across jobs).
 _SOFTWARE: Dict[bool, SoftwareFramework] = {}
@@ -95,10 +101,11 @@ def execute_job(job: SweepJob) -> dict:
         "worker_pid": os.getpid(),
     }
     try:
-        if job.engine in BASELINE_ENGINES:
-            record.update(_execute_baseline(job))
-        else:
-            record.update(_execute_art9(job))
+        with trace.span("job", job_id=job.job_id, label=job.label):
+            if job.engine in BASELINE_ENGINES:
+                record.update(_execute_baseline(job))
+            else:
+                record.update(_execute_art9(job))
     except Exception as exc:  # pragma: no cover - exercised via error-path test
         record["status"] = "error"
         record["error"] = f"{type(exc).__name__}: {exc}"
@@ -116,15 +123,27 @@ def _execute_art9(job: SweepJob) -> dict:
     pool workers, queue-backend spawn workers or remote ``art9 work``
     clients — touch it.
     """
-    program, report, workload = _software(job.optimize).compile_named_workload_cached(
+    software = _software(job.optimize)
+    xlate_started = time.perf_counter()
+    program, report, workload = software.compile_named_workload_cached(
         job.workload, job.params_dict)
-    stats, registers, memory = _hardware(job.engine, job.machine).simulate_with_state(
-        program, max_cycles=job.max_cycles, engine=job.engine)
+    xlate_s = time.perf_counter() - xlate_started
+    cache_hit = software.last_compile_source in ("memo", "cache")
+    phase: Dict[str, float] = {}
+    with trace.span("simulate", engine=job.engine, workload=job.workload):
+        stats, registers, memory = _hardware(job.engine, job.machine).simulate_with_state(
+            program, max_cycles=job.max_cycles, engine=job.engine, timings=phase)
     actual = [
         memory.get(workload.result_base + 4 * index, 0)
         for index in range(workload.result_count)
     ]
     return {
+        "timings": {
+            "xlate_s": round(xlate_s, 6),
+            "codegen_s": round(phase.get("codegen_s", 0.0), 6),
+            "execute_s": round(phase.get("execute_s", 0.0), 6),
+        },
+        "cache_hit": cache_hit,
         "cycles": stats.cycles,
         "instructions": stats.instructions_committed,
         "cpi": round(stats.cpi, 6),
@@ -149,11 +168,15 @@ def _execute_baseline(job: SweepJob) -> dict:
     (RV-32I bits, or estimated Thumb-1 bits for ``armv6m``) that the
     Fig. 5 comparison divides the ternary trit counts by.
     """
+    started = time.perf_counter()
     workload = _workload(job.workload, job.params_dict)
     rv_program = workload.rv_program()
     if job.engine == "armv6m":
         size = ARMv6MCodeSizeModel().estimate(rv_program)
         return {
+            "timings": {"xlate_s": 0.0, "codegen_s": 0.0,
+                        "execute_s": round(time.perf_counter() - started, 6)},
+            "cache_hit": False,
             "cycles": 0,
             "instructions": 0,
             "cpi": 0.0,
@@ -170,6 +193,9 @@ def _execute_baseline(job: SweepJob) -> dict:
                        max_cycles=job.max_cycles)
     actual = simulator.memory_words(workload.result_base, workload.result_count)
     return {
+        "timings": {"xlate_s": 0.0, "codegen_s": 0.0,
+                    "execute_s": round(time.perf_counter() - started, 6)},
+        "cache_hit": False,
         "cycles": result.cycles,
         "instructions": result.instructions,
         "cpi": round(result.cpi, 6),
@@ -236,21 +262,30 @@ def execute_job_batch(jobs: "list[SweepJob]") -> "list[dict]":
         return [execute_job(jobs[0])]
     started = time.perf_counter()
     try:
-        compiled = [
-            _software(job.optimize).compile_named_workload_cached(
-                job.workload, job.params_dict)
-            for job in jobs
-        ]
+        compiled = []
+        cache_hits = []
+        for job in jobs:
+            software = _software(job.optimize)
+            compiled.append(software.compile_named_workload_cached(
+                job.workload, job.params_dict))
+            cache_hits.append(
+                software.last_compile_source in ("memo", "cache"))
+        xlate_elapsed = time.perf_counter() - started
         programs = [program for program, _, _ in compiled]
         if not batchable_programs(programs):
             return [execute_job(job) for job in jobs]
-        outcomes = BatchEngine(programs, machine=jobs[0].machine).run_with_stats(
-            max_cycles=jobs[0].max_cycles)
+        with trace.span("batch", lanes=len(jobs), workload=jobs[0].workload):
+            outcomes = BatchEngine(programs, machine=jobs[0].machine).run_with_stats(
+                max_cycles=jobs[0].max_cycles)
     except Exception:
         return [execute_job(job) for job in jobs]
     elapsed = round((time.perf_counter() - started) / len(jobs), 6)
+    xlate_share = round(xlate_elapsed / len(jobs), 6)
+    execute_share = round(
+        (time.perf_counter() - started - xlate_elapsed) / len(jobs), 6)
     records = []
-    for job, (program, report, workload), outcome in zip(jobs, compiled, outcomes):
+    for job, (program, report, workload), outcome, cache_hit in zip(
+            jobs, compiled, outcomes, cache_hits):
         record = {
             "job_id": job.job_id,
             "label": job.label,
@@ -287,6 +322,9 @@ def execute_job_batch(jobs: "list[SweepJob]") -> "list[dict]":
                 "memory_cells": report.ternary_memory_trits,
                 "memory_cell_ratio": round(report.memory_cell_ratio, 6),
             })
+        record["timings"] = {"xlate_s": xlate_share, "codegen_s": 0.0,
+                             "execute_s": execute_share}
+        record["cache_hit"] = cache_hit
         record["elapsed_s"] = elapsed
         records.append(record)
     return records

@@ -41,7 +41,7 @@ from repro.service.protocol import DEFAULT_PORT
 from repro.service.queue_backend import AsyncQueueBackend
 from repro.service.report import ReportError, ReportTable, build_report, render_report
 from repro.service.resultsdb import IngestReport, ResultsDB
-from repro.service.workerclient import WorkerSummary, work
+from repro.service.workerclient import WorkerSummary, request_status, work
 
 __all__ = [
     "ExecutionBackend",
@@ -59,5 +59,6 @@ __all__ = [
     "build_report",
     "render_report",
     "WorkerSummary",
+    "request_status",
     "work",
 ]

@@ -127,6 +127,9 @@ class Coordinator:
         self._in_flight: Dict[str, _InFlight] = {}
         self._done: Dict[str, dict] = {}
         self._dispatch_counts: Dict[str, int] = {}
+        # worker name -> {"jobs_done", "requeues", "last_seen"} for the
+        # live status snapshot; purely observational.
+        self._worker_stats: Dict[str, dict] = {}
         self._connection_ids = itertools.count(1)
         self._handler_tasks: set = set()
 
@@ -203,6 +206,43 @@ class Coordinator:
         """Jobs that do not have an accepted record yet."""
         return self.stats.jobs_total - len(self._done)
 
+    def _worker_entry(self, worker: str) -> dict:
+        entry = self._worker_stats.get(worker)
+        if entry is None:
+            entry = self._worker_stats[worker] = {
+                "jobs_done": 0, "requeues": 0,
+                "last_seen": time.monotonic(),
+            }
+        return entry
+
+    def status_snapshot(self) -> dict:
+        """Point-in-time view of the queue and the worker fleet.
+
+        Served over the wire for ``status`` requests (``art9 status
+        --connect``); reads coordinator state only — no scheduling
+        decision is taken or deferred on its behalf.
+        """
+        now = time.monotonic()
+        return {
+            "jobs_total": self.stats.jobs_total,
+            "queue_depth": len(self._pending),
+            "in_flight": len(self._in_flight),
+            "done": len(self._done),
+            "outstanding": self.outstanding,
+            "requeues": self.stats.requeues,
+            "lost_jobs": self.stats.lost_jobs,
+            "duplicate_results": self.stats.duplicate_results,
+            "connected_workers": self.connected_workers,
+            "workers": {
+                name: {
+                    "jobs_done": entry["jobs_done"],
+                    "requeues": entry["requeues"],
+                    "heartbeat_age_s": round(now - entry["last_seen"], 3),
+                }
+                for name, entry in sorted(self._worker_stats.items())
+            },
+        }
+
     def _accept(self, record: dict) -> bool:
         """Take one result record; returns False for duplicates."""
         job_id = record.get("job_id")
@@ -263,11 +303,24 @@ class Coordinator:
 
     def _requeue(self, entry: _InFlight, reason: str) -> None:
         attempts = self._dispatch_counts.get(entry.job.job_id, 1)
+        self._worker_entry(entry.worker)["requeues"] += 1
         if attempts > self._max_requeues:
             self.stats.lost_jobs += 1
+            logger.info(
+                "poison job declared lost: worker=%s job_id=%s attempts=%d "
+                "reason=%s", entry.worker, entry.job.job_id, attempts, reason,
+                extra={"worker_id": entry.worker,
+                       "job_id": entry.job.job_id,
+                       "reason": reason})
             self._accept(lost_job_record(entry.job, attempts, reason))
             return
         self.stats.requeues += 1
+        logger.info(
+            "job requeued: worker=%s job_id=%s attempt=%d reason=%s",
+            entry.worker, entry.job.job_id, attempts, reason,
+            extra={"worker_id": entry.worker,
+                   "job_id": entry.job.job_id,
+                   "reason": reason})
         self._pending.append(entry.job)
 
     def _assign(self, connection_id: int, worker: str) -> dict:
@@ -315,16 +368,29 @@ class Coordinator:
                     worker = str(message.get("worker") or worker)
                     self.stats.workers_seen += 1
                     self.stats.worker_names.append(worker)
+                    self._worker_entry(worker)
+                    continue
+                if mtype == "status":
+                    # Observational request (art9 status --connect):
+                    # answered inline from coordinator state, never routed
+                    # through _assign, so probing a live run can neither
+                    # receive a job nor perturb scheduling.
+                    await send_and_drain(writer, {
+                        "type": "status", "status": self.status_snapshot()})
                     continue
                 if mtype == "heartbeat":
                     entry = self._in_flight.get(str(message.get("job_id")))
                     if entry is not None and entry.connection_id == connection_id:
                         entry.last_seen = time.monotonic()
+                        self._worker_entry(entry.worker)["last_seen"] = \
+                            entry.last_seen
                     continue
                 if mtype == "result":
                     record = message.get("record")
-                    if isinstance(record, dict):
-                        self._accept(record)
+                    if isinstance(record, dict) and self._accept(record):
+                        stats = self._worker_entry(worker)
+                        stats["jobs_done"] += 1
+                        stats["last_seen"] = time.monotonic()
                     assigned = None
                 elif mtype != "next":
                     continue  # unknown message types are ignored, not fatal
@@ -343,6 +409,11 @@ class Coordinator:
                 entry = self._in_flight.get(assigned)
                 if entry is not None and entry.connection_id == connection_id:
                     del self._in_flight[assigned]
+                    logger.info(
+                        "worker disconnected with a job in flight: worker=%s "
+                        "job_id=%s reason=connection closed", worker, assigned,
+                        extra={"worker_id": worker, "job_id": assigned,
+                               "reason": "connection closed"})
                     self._requeue(entry, f"worker {worker} disconnected")
                     if self.outstanding <= 0:
                         self._all_done.set()

@@ -17,6 +17,13 @@ worker → coordinator
         liveness while executing a job (sent from a side task so a long
         simulation does not look like a dead worker).
 
+observer → coordinator
+    ``{"type": "status"}``
+        a live telemetry probe (``art9 status --connect``): answered with
+        a ``status`` reply built from coordinator state and nothing else —
+        the probe never receives a job and never disturbs scheduling, so
+        connecting one to a running sweep is always safe.
+
 coordinator → worker
     ``{"type": "job", "job_id": <id>, "job": {...}}``
         one :class:`~repro.runner.spec.SweepJob` as pure data;
@@ -24,7 +31,10 @@ coordinator → worker
         nothing to hand out right now but the run is not finished (jobs
         are in flight elsewhere and may yet be requeued);
     ``{"type": "done"}``
-        every job has an accepted result — disconnect and exit.
+        every job has an accepted result — disconnect and exit;
+    ``{"type": "status", "status": {...}}``
+        reply to a ``status`` request: queue depth, in-flight/done counts,
+        and per-worker jobs-done/heartbeat-age/requeue stats.
 
 A malformed line or a closed connection reads as ``None``, which both ends
 treat as a disconnect; the coordinator requeues whatever the lost worker

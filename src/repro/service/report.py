@@ -369,6 +369,56 @@ def machine_corners(db: ResultsDB, hardware: HardwareFramework) -> ReportTable:
     return table
 
 
+def timings_summary(db: ResultsDB) -> ReportTable:
+    """Per-phase wall-time summary — where sweep time actually went.
+
+    Aggregates the ``timings`` field the workers attach to every record
+    (translation / engine build / execution seconds, plus the artifact-cache
+    hit flag) per engine.  Records written before the instrumentation
+    existed carry NULL columns and are counted but not timed, so mixed
+    databases still render honestly.
+    """
+    table = ReportTable(
+        key="timings",
+        title="Per-phase timing summary — where the sweep time went",
+        headers=["engine", "jobs", "timed", "xlate (s)", "codegen (s)",
+                 "execute (s)", "cache hit rate"],
+    )
+    rows = db.phase_summary(latest_only=True)
+    timed = [row for row in rows if row["timed_jobs"]]
+    if not timed:
+        raise ReportError(
+            "no records with phase timings in the results database; records "
+            "written before the instrumentation existed lack them — rerun "
+            "the sweep with --no-resume to refresh")
+    total_xlate = total_codegen = total_execute = 0.0
+    for row in rows:
+        hit_rate = ("-" if not row["cache_known"]
+                    else f"{row['cache_hits'] / row['cache_known']:.0%}")
+        table.rows.append([
+            row["engine"], row["jobs"], row["timed_jobs"],
+            f"{row['xlate_s']:.3f}", f"{row['codegen_s']:.3f}",
+            f"{row['execute_s']:.3f}", hit_rate,
+        ])
+        total_xlate += row["xlate_s"]
+        total_codegen += row["codegen_s"]
+        total_execute += row["execute_s"]
+        table.metrics[f"{row['engine']}_execute_s"] = row["execute_s"]
+    table.metrics["total_xlate_s"] = total_xlate
+    table.metrics["total_codegen_s"] = total_codegen
+    table.metrics["total_execute_s"] = total_execute
+    known = sum(row["cache_known"] for row in rows)
+    if known:
+        table.metrics["cache_hit_rate"] = (
+            sum(row["cache_hits"] for row in rows) / known)
+    untimed = sum(row["jobs"] - row["timed_jobs"] for row in rows)
+    if untimed:
+        table.notes.append(
+            f"{untimed} record(s) predate the timing instrumentation and "
+            "contribute no seconds; rerun with --no-resume to refresh them.")
+    return table
+
+
 # -- report assembly --------------------------------------------------------
 
 
@@ -394,6 +444,8 @@ def build_report(db: ResultsDB, hardware: Optional[HardwareFramework] = None,
          lambda: fig5_memory_cells(db)),
         ("machines", "Design-space corners — Dhrystone across machine configs",
          lambda: machine_corners(db, hardware)),
+        ("timings", "Per-phase timing summary — where the sweep time went",
+         lambda: timings_summary(db)),
     )
     tables = []
     for key, title, builder in builders:

@@ -54,6 +54,10 @@ CREATE TABLE IF NOT EXISTS results (
     verified    INTEGER NOT NULL,
     cycles      INTEGER,
     cpi         REAL,
+    xlate_s     REAL,
+    codegen_s   REAL,
+    execute_s   REAL,
+    cache_hit   INTEGER,
     canonical   TEXT NOT NULL,
     record_json TEXT NOT NULL,
     PRIMARY KEY (run_id, job_id)
@@ -99,11 +103,13 @@ class ResultsDB:
         self._migrate()
 
     def _migrate(self) -> None:
-        """Bring pre-machine-column databases up to the current schema.
+        """Bring older databases up to the current schema.
 
         ``CREATE TABLE IF NOT EXISTS`` leaves an existing ``results`` table
-        untouched, so databases written before the machine axis existed
-        lack the column; every record in them was a default-machine run.
+        untouched, so databases written before the machine axis (or before
+        the phase-timing columns) lack those columns; pre-machine records
+        were all default-machine runs, and pre-timing records simply carry
+        NULL timings (they predate the instrumentation).
         """
         columns = {
             row["name"]
@@ -113,7 +119,12 @@ class ResultsDB:
             self._conn.execute(
                 "ALTER TABLE results ADD COLUMN machine TEXT NOT NULL "
                 f"DEFAULT '{DEFAULT_MACHINE_NAME}'")
-            self._conn.commit()
+        for column, kind in (("xlate_s", "REAL"), ("codegen_s", "REAL"),
+                             ("execute_s", "REAL"), ("cache_hit", "INTEGER")):
+            if column not in columns:
+                self._conn.execute(
+                    f"ALTER TABLE results ADD COLUMN {column} {kind}")
+        self._conn.commit()
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -166,11 +177,16 @@ class ResultsDB:
                 (record["job_id"], canonical, run_id)).fetchone()
             if duplicate is not None:
                 duplicates += 1
+            timings = record.get("timings")
+            if not isinstance(timings, Mapping):
+                timings = {}
+            cache_hit = record.get("cache_hit")
             cursor.execute(
                 "INSERT INTO results (run_id, job_id, workload, engine, "
                 "optimize, params_json, machine, status, verified, cycles, "
-                "cpi, canonical, record_json) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                "cpi, xlate_s, codegen_s, execute_s, cache_hit, canonical, "
+                "record_json) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 (run_id,
                  record["job_id"],
                  str(record.get("workload", "")),
@@ -185,6 +201,12 @@ class ResultsDB:
                  1 if record.get("verified") else 0,
                  record.get("cycles"),
                  record.get("cpi"),
+                 timings.get("xlate_s"),
+                 timings.get("codegen_s"),
+                 timings.get("execute_s"),
+                 # Records predating the instrumentation carry NULL, which
+                 # keeps "unknown" distinct from "cold miss".
+                 None if cache_hit is None else (1 if cache_hit else 0),
                  canonical,
                  json.dumps(record, sort_keys=True, separators=(",", ":"))))
         self._conn.commit()
@@ -252,6 +274,30 @@ class ResultsDB:
             " ORDER BY workload, params_json, engine, optimize DESC, run_id",
             values).fetchall()
         return [json.loads(row["record_json"]) for row in rows]
+
+    def phase_summary(self, latest_only: bool = True) -> List[dict]:
+        """Per-engine aggregation of the phase-timing columns.
+
+        One row per engine: job count, how many rows carry timings (older
+        records predate the instrumentation and hold NULLs), total seconds
+        in each phase, and the artifact-cache hit rate over the rows where
+        the flag is known.  ``latest_only`` mirrors :meth:`query`.
+        """
+        where = ""
+        if latest_only:
+            where = (" WHERE run_id = (SELECT MAX(r2.run_id) FROM results r2 "
+                     "WHERE r2.job_id = results.job_id)")
+        rows = self._conn.execute(
+            "SELECT engine, COUNT(*) AS jobs, "
+            "COUNT(execute_s) AS timed_jobs, "
+            "COALESCE(SUM(xlate_s), 0.0) AS xlate_s, "
+            "COALESCE(SUM(codegen_s), 0.0) AS codegen_s, "
+            "COALESCE(SUM(execute_s), 0.0) AS execute_s, "
+            "COUNT(cache_hit) AS cache_known, "
+            "COALESCE(SUM(cache_hit), 0) AS cache_hits "
+            "FROM results" + where +
+            " GROUP BY engine ORDER BY engine").fetchall()
+        return [dict(row) for row in rows]
 
     def latest(self, job_id: str) -> Optional[dict]:
         """Newest-ingested record of one job ID, or ``None``."""

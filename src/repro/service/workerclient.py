@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import json
 import os
 import socket
 from dataclasses import dataclass
@@ -57,6 +58,30 @@ class WorkerSummary:
 
 def default_worker_name() -> str:
     return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def request_status(host: str, port: int, timeout: float = 5.0) -> dict:
+    """Fetch a live coordinator status snapshot (``art9 status --connect``).
+
+    Speaks the observer side of the protocol: one ``status`` request, one
+    reply, disconnect.  Synchronous on purpose — a probe has no business
+    inside the worker event loop — and safe against a running sweep: the
+    coordinator answers from its own state without touching the queue.
+    """
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(b'{"type":"status"}\n')
+        with sock.makefile("r", encoding="utf-8") as stream:
+            line = stream.readline()
+    if not line:
+        raise ConnectionError(
+            f"coordinator at {host}:{port} closed the connection "
+            "without answering the status request")
+    reply = json.loads(line)
+    if not isinstance(reply, dict) or reply.get("type") != "status" \
+            or not isinstance(reply.get("status"), dict):
+        raise ConnectionError(
+            f"unexpected status reply from {host}:{port}: {reply!r}")
+    return reply["status"]
 
 
 async def _heartbeat_loop(writer: asyncio.StreamWriter, job_id: str,

@@ -50,6 +50,7 @@ import numpy as np
 import repro.sim.engine as _engine
 from repro.isa.program import Program
 from repro.isa.registers import NUM_REGISTERS, register_name
+from repro.obs import metrics
 from repro.sim.engine import (
     HALF,
     MOD,
@@ -369,6 +370,11 @@ class BatchEngine:
 
         groups: List[_Group] = [_Group(0, rows.copy())]
 
+        # Group-dynamics telemetry accumulates in local ints (the hot loop
+        # must not pay for metric lookups) and flushes once at the end.
+        n_splits = n_merges = n_full = 0
+        max_groups = 1
+
         while groups:
             if len(groups) == 1:
                 group = groups[0]
@@ -377,6 +383,8 @@ class BatchEngine:
             pc = group.pc
             lanes = group.lanes
             full = lanes.shape[0] == batch
+            if full:
+                n_full += 1
             sel = slice(None) if full else lanes
 
             # Instruction budget: cheap scalar bound first (per-lane counts
@@ -714,6 +722,9 @@ class BatchEngine:
                     group.pc = pc + 1
                     twin.pc = pc + imm
                     groups.append(twin)
+                    n_splits += 1
+                    if len(groups) > max_groups:
+                        max_groups = len(groups)
             elif jalr_targets is not None:
                 if timing:
                     jumps_arr[sel] += 1
@@ -733,6 +744,9 @@ class BatchEngine:
                             twin = group.split(subset)
                             twin.pc = target
                             groups.append(twin)
+                            n_splits += 1
+                    if len(groups) > max_groups:
+                        max_groups = len(groups)
             else:
                 if timing:
                     if op == OP_JAL:
@@ -754,12 +768,18 @@ class BatchEngine:
                             np.concatenate((kept.lanes, grp.lanes)))
                         kept.max_exec = max(kept.max_exec, grp.max_exec)
                 if len(merged) != len(groups):
+                    n_merges += len(groups) - len(merged)
                     groups = list(merged.values())
 
         # Per-lane executed counts are the column sums of the mix matrix
         # (fault-aborted accesses were never counted, matching the scalar
         # engines' decrement-on-fault behaviour).
         np.sum(counts, axis=0, out=self._executed)
+
+        metrics.counter("batch.group_splits").inc(n_splits)
+        metrics.counter("batch.group_merges").inc(n_merges)
+        metrics.counter("batch.full_group_steps").inc(n_full)
+        metrics.gauge("batch.concurrent_groups_max").set_max(max_groups)
 
     # -- result assembly ----------------------------------------------------
 

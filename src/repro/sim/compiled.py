@@ -75,6 +75,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.isa.program import Program
 from repro.isa.registers import NUM_REGISTERS, register_name
+from repro.obs import metrics
 from repro.sim import engine as _fast
 from repro.sim.engine import (
     HALF,
@@ -119,7 +120,8 @@ from repro.sim.pipeline.stats import PipelineStats
 
 #: Bumped whenever the shape of the generated code changes; part of the
 #: artifact-cache key so stale cached sources can never be executed.
-CODEGEN_VERSION = 2
+#: v3: optional profile-counter prologue (``profile=True`` engines).
+CODEGEN_VERSION = 3
 
 #: Interpreter identity for the marshalled code objects stored alongside
 #: the sources: ``marshal`` payloads are only valid for the exact bytecode
@@ -239,6 +241,7 @@ def generate_block_source(
     timing: bool,
     tdm_depth: int,
     machine: Optional[MachineConfig] = None,
+    profile: bool = False,
 ) -> str:
     """Emit the Python source of one superblock function.
 
@@ -246,6 +249,12 @@ def generate_block_source(
     timing variant) and has the signature ``(regs, mem, st) -> next_pc``.
     The machine config's constants — redirect penalty, branch-policy
     prediction, load-use bypass — are folded into the emitted timing code.
+
+    With ``profile=True`` the block's first statement bumps its slot in
+    the shared ``_P`` execution-count dict — the per-block profile that
+    ``art9 profile`` reports and that profile-guided recompilation will
+    consume.  Profiling is opt-in precisely because this is the only
+    per-dispatch cost the generated code ever pays for telemetry.
     """
     machine = resolve_machine(machine)
     redirect = machine.redirect_penalty
@@ -257,6 +266,8 @@ def generate_block_source(
     w = _BlockWriter()
     name = f"_blk_{entry}_t" if timing else f"_blk_{entry}"
     w.emit(f"def {name}(regs, mem, st):", 0)
+    if profile:
+        w.emit(f"_P[{entry}] += 1")
 
     # -- register locals ----------------------------------------------------
     used = set()
@@ -622,11 +633,14 @@ class CompiledEngine:
 
     def __init__(self, program: Program, tdm_depth: int = MOD,
                  cache: object = "default",
-                 machine: Optional[MachineConfig] = None):
+                 machine: Optional[MachineConfig] = None,
+                 profile: bool = False):
         _fast._build_tables()
         self.program = program
         self.tdm_depth = tdm_depth
         self.machine = resolve_machine(machine)
+        self.profile = profile
+        self._profile_counts: Dict[int, int] = {}
         self._records = FastEngine._predecode(program)
         self._mem: Dict[int, int] = {}
         for segment in program.data:
@@ -649,6 +663,7 @@ class CompiledEngine:
             "PTIT": _fast._PTI_WORD,
             "NTIT": _fast._NTI_WORD,
             "P3": _POW3,
+            "_P": self._profile_counts,
         }
         # timing-mode → entry pc → (fn, length, halts, entry index)
         self._tables: Dict[bool, Dict[int, tuple]] = {False: {}, True: {}}
@@ -682,6 +697,9 @@ class CompiledEngine:
             # configs (a config change is a cache miss, never a wrong-
             # timing hit).
             "machine": self.machine.digest(),
+            # Profiled code carries the counter prologue, so the two
+            # variants can never share artifacts.
+            "profile": self.profile,
         }
 
     def _publish(self, codes: Dict[int, object],
@@ -708,10 +726,11 @@ class CompiledEngine:
         when the disk cache has to be consulted.
         """
         memo_key = (tuple(self._records), CODEGEN_VERSION, timing,
-                    self.tdm_depth, self.machine.digest())
+                    self.tdm_depth, self.machine.digest(), self.profile)
         bundle = _CODE_MEMO.get(memo_key)
         if bundle is not None:
             _CODE_MEMO.move_to_end(memo_key)
+            metrics.counter("compiled.blocks_memo").inc(len(bundle[0]))
             return bundle
         cache = self._cache
         if cache is not None:
@@ -726,12 +745,16 @@ class CompiledEngine:
                     )
                 except (KeyError, TypeError, ValueError, EOFError):
                     bundle = None  # treat a malformed artifact as a miss
+                else:
+                    metrics.counter("compiled.blocks_loaded").inc(
+                        len(bundle[0]))
         if bundle is None:
             sources = {
                 entry: generate_block_source(
                     entry,
                     superblock_span(self._records, self._leaders, entry),
-                    self._records, timing, self.tdm_depth, self.machine)
+                    self._records, timing, self.tdm_depth, self.machine,
+                    self.profile)
                 for entry in sorted(self._leaders)
             }
             codes = {
@@ -739,6 +762,7 @@ class CompiledEngine:
                 for entry, source in sources.items()
             }
             bundle = (codes, sources)
+            metrics.counter("compiled.blocks_compiled").inc(len(codes))
             self._publish(codes, sources, timing)
         _CODE_MEMO[memo_key] = bundle
         while len(_CODE_MEMO) > _CODE_MEMO_CAP:
@@ -746,6 +770,8 @@ class CompiledEngine:
         return bundle
 
     def _install_block(self, entry: int, code, timing: bool) -> tuple:
+        if self.profile:
+            self._profile_counts.setdefault(entry, 0)
         exec(code, self._namespace)
         name = f"_blk_{entry}_t" if timing else f"_blk_{entry}"
         span = superblock_span(self._records, self._leaders, entry)
@@ -784,8 +810,9 @@ class CompiledEngine:
             return self._install_block(entry, bundle[0][entry], timing)
         source = generate_block_source(
             entry, superblock_span(self._records, self._leaders, entry),
-            self._records, timing, self.tdm_depth, self.machine)
+            self._records, timing, self.tdm_depth, self.machine, self.profile)
         code = compile(source, f"<art9 block {entry}>", "exec")
+        metrics.counter("compiled.suffix_compiles").inc()
         if bundle is not None:
             codes, sources = bundle
             codes[entry] = code
@@ -806,6 +833,16 @@ class CompiledEngine:
         return self._install_block(entry, code, timing)
 
     # -- execution ----------------------------------------------------------
+
+    def prepare(self, timing: bool = True) -> None:
+        """Build the block dispatch table now instead of on first execution.
+
+        Purely a scheduling choice — ``_execute`` builds lazily anyway —
+        but it lets callers (the sweep worker's phase breakdown) attribute
+        codegen/bundle-load time separately from execution time.
+        """
+        if not self._tables[timing] and self._records:
+            self._build_table(timing)
 
     def run(self, max_instructions: int = 10_000_000) -> ExecutionResult:
         """Run until HALT; same contract and limits as the fast engine."""
@@ -949,6 +986,38 @@ class CompiledEngine:
             entry: len(superblock_span(self._records, self._leaders, entry))
             for entry in sorted(self._leaders)
         }
+
+    def block_profile(self) -> List[dict]:
+        """Execution profile rows from the generated-code ``_P`` counters.
+
+        Requires ``profile=True``; each row carries the block entry PC, how
+        many times the generated function ran, its static length, and the
+        dynamic instructions it accounts for.  The instruction totals sum
+        to ``instructions_executed`` (a mid-block memory fault charges the
+        faulting block only its committed prefix, matching the driver's
+        accounting), which is what lets ``art9 profile`` cross-check the
+        table against the engine.
+        """
+        if not self.profile:
+            raise SimulationError(
+                "block_profile() requires a CompiledEngine(profile=True)")
+        fault_entry = fault_offset = None
+        if self._fault_partial is not None:
+            idx, fault_offset = self._fault_partial
+            fault_entry = self._entries[idx][0]
+        rows = []
+        for entry, executions in sorted(self._profile_counts.items()):
+            length = len(superblock_span(self._records, self._leaders, entry))
+            instructions = executions * length
+            if entry == fault_entry:
+                instructions -= length - fault_offset
+            rows.append({
+                "pc": entry,
+                "executions": executions,
+                "length": length,
+                "instructions": instructions,
+            })
+        return rows
 
 
 def compile_and_run(program: Program,

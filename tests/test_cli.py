@@ -191,3 +191,116 @@ class TestMetaCommands:
         text = parser.format_help()
         for command in ("translate", "run", "bench", "fuzz", "hw", "workloads"):
             assert command in text
+
+
+class TestBenchJsonOverwrite:
+    def test_existing_record_is_refused_without_force(self, tmp_path, capsys):
+        path = tmp_path / "bench.json"
+        path.write_text('{"format": 3}\n')
+        assert main(["bench", "--json", str(path)]) == 2
+        assert "--force" in capsys.readouterr().err
+        assert path.read_text() == '{"format": 3}\n'  # untouched
+
+    def test_force_overwrites(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "bench.json"
+        path.write_text("{}\n")
+        assert main(["bench", "--json", str(path), "--force", "--repeat", "1",
+                     "--no-sweep-timing", "--batch-lanes", "4"]) == 0
+        capsys.readouterr()
+        with open(path, "r", encoding="utf-8") as handle:
+            assert json.load(handle)["format"] == 3
+
+
+class TestStatus:
+    @pytest.fixture
+    def run_dir(self, tmp_path):
+        out = str(tmp_path / "run")
+        assert main(["sweep", "--out", out, "--workloads", "bubble_sort",
+                     "--engines", "fast", "--optimize", "on",
+                     "--params", '{"bubble_sort": [{"length": 8}]}',
+                     "--jobs", "1"]) == 0
+        return out
+
+    def test_run_dir_summary_reports_phases_and_cache(self, run_dir, capsys):
+        capsys.readouterr()
+        assert main(["status", run_dir]) == 0
+        out = capsys.readouterr().out
+        assert "jobs      1/1 ok" in out
+        assert "xlate" in out and "execute" in out
+        assert "translation cache hits" in out
+        assert "slowest jobs:" in out
+        assert "bubble_sort[length=8]/fast/opt" in out
+
+    def test_traced_run_dir_reports_span_count(self, tmp_path, capsys,
+                                               monkeypatch):
+        from repro.obs import trace
+
+        out = str(tmp_path / "run")
+        assert main(["sweep", "--out", out, "--workloads", "bubble_sort",
+                     "--engines", "fast", "--optimize", "on",
+                     "--params", '{"bubble_sort": [{"length": 8}]}',
+                     "--jobs", "1", "--trace"]) == 0
+        trace.configure(None)  # --trace enabled it process-wide; undo
+        monkeypatch.delenv(trace.TRACE_ENV, raising=False)
+        monkeypatch.delenv(trace.TRACE_FILE_ENV, raising=False)
+        capsys.readouterr()
+        assert main(["status", out]) == 0
+        captured = capsys.readouterr().out
+        assert "spans.jsonl" in captured
+        assert "trace" in captured
+
+    def test_rejects_neither_or_both_modes(self, run_dir, capsys):
+        assert main(["status"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+        assert main(["status", run_dir, "--connect", "127.0.0.1:1"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_non_run_directory_fails_cleanly(self, tmp_path, capsys):
+        assert main(["status", str(tmp_path / "nope")]) == 2
+        assert "not a sweep run directory" in capsys.readouterr().err
+
+    def test_unreachable_coordinator_fails_cleanly(self, capsys):
+        assert main(["status", "--connect", "127.0.0.1:1"]) == 2
+        assert "cannot query coordinator" in capsys.readouterr().err
+
+    def test_malformed_connect_address(self, capsys):
+        assert main(["status", "--connect", "nonsense"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+
+class TestProfile:
+    def test_hot_block_table_sums_to_dynamic_instructions(self, capsys):
+        assert main(["profile", "dhrystone"]) == 0
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        header = lines[0]
+        # "dhrystone: 10380 cycles, 8443 instructions, ..."
+        executed = int(header.split(" cycles, ")[1].split(" instructions")[0])
+        shown = 0
+        for line in lines[4:]:
+            cells = line.split()
+            if not cells or not cells[0].isdigit():
+                break
+            shown += int(cells[3])
+        assert 0 < shown <= executed
+        assert "cumulative" in out
+
+    def test_top_truncation_reports_the_remainder(self, capsys):
+        assert main(["profile", "dhrystone", "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "more blocks accounting for" in out
+
+    def test_profile_respects_params_and_machine(self, capsys):
+        assert main(["profile", "gemm", "--params", '{"n": 2}',
+                     "--machine", "ideal2"]) == 0
+        assert "superblocks executed" in capsys.readouterr().out
+
+    def test_unknown_workload_fails_cleanly(self, capsys):
+        assert main(["profile", "not_a_workload"]) == 2
+        assert "art9 profile:" in capsys.readouterr().err
+
+    def test_malformed_params_fail_cleanly(self, capsys):
+        assert main(["profile", "gemm", "--params", "{oops"]) == 2
+        assert "--params" in capsys.readouterr().err

@@ -385,3 +385,148 @@ class TestLostRecord:
         assert record["engine"] == job.engine
         # An error status means a resumed sweep retries the job.
         assert "lost after 3" in record["error"]
+
+
+class TestStatusRequests:
+    def test_status_probe_answers_without_scheduling(self):
+        """An observer sends ``status`` and gets telemetry — never a job,
+        never a workers_seen bump, no effect on the run's outcome."""
+        records = []
+        coordinator = Coordinator(_jobs(2), on_result=records.append)
+        snapshots = []
+
+        async def probe(port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            await send_and_drain(writer, {"type": "status"})
+            reply = await read_message(reader)
+            assert reply["type"] == "status"
+            snapshots.append(reply["status"])
+            writer.close()
+            await writer.wait_closed()
+
+        async def scenario():
+            serve = asyncio.create_task(coordinator.serve())
+            port = await coordinator.wait_started()
+            await probe(port)  # before any worker connects
+            await asyncio.gather(
+                work_async("127.0.0.1", port, name="w1",
+                           executor=_stub_executor),
+                serve)
+
+        asyncio.run(scenario())
+        status = snapshots[0]
+        assert status["jobs_total"] == 2
+        assert status["queue_depth"] == 2
+        assert status["in_flight"] == 0 and status["done"] == 0
+        assert status["workers"] == {}
+        # The probe never said hello and must not count as a worker.
+        assert coordinator.stats.workers_seen == 1
+        assert len(records) == 2
+
+    def test_status_snapshot_tracks_worker_progress(self):
+        coordinator = Coordinator(_jobs(3), on_result=lambda r: None)
+
+        async def scenario():
+            serve = asyncio.create_task(coordinator.serve())
+            port = await coordinator.wait_started()
+            await work_async("127.0.0.1", port, name="w1",
+                             executor=_stub_executor)
+            await serve
+
+        asyncio.run(scenario())
+        status = coordinator.status_snapshot()
+        assert status["done"] == status["jobs_total"] == 3
+        assert status["queue_depth"] == 0 and status["in_flight"] == 0
+        assert status["workers"]["w1"]["jobs_done"] == 3
+        assert status["workers"]["w1"]["requeues"] == 0
+        assert status["workers"]["w1"]["heartbeat_age_s"] >= 0
+
+    def test_request_status_helper_speaks_the_wire_protocol(self):
+        """The synchronous ``art9 status --connect`` client against a real
+        coordinator, bridged through a thread so the loop keeps serving."""
+        from repro.service.workerclient import request_status
+
+        coordinator = Coordinator(_jobs(1), on_result=lambda r: None)
+        results = []
+
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            serve = asyncio.create_task(coordinator.serve())
+            port = await coordinator.wait_started()
+            results.append(await loop.run_in_executor(
+                None, request_status, "127.0.0.1", port))
+            await asyncio.gather(
+                work_async("127.0.0.1", port, executor=_stub_executor),
+                serve)
+
+        asyncio.run(scenario())
+        assert results[0]["jobs_total"] == 1
+        assert results[0]["outstanding"] == 1
+
+
+class TestStructuredLogs:
+    def test_requeue_log_names_worker_job_and_reason(self, caplog):
+        import logging
+
+        records = []
+        coordinator = Coordinator(_jobs(1), on_result=records.append)
+
+        async def faulty_then_good(port):
+            reader, writer = await _raw_client("127.0.0.1", port)
+            message = await _take_job(reader, writer)
+            writer.close()
+            await writer.wait_closed()
+            await work_async("127.0.0.1", port, name="good",
+                             executor=_stub_executor)
+            return message["job_id"]
+
+        job_ids = []
+
+        async def scenario():
+            serve = asyncio.create_task(coordinator.serve())
+            port = await coordinator.wait_started()
+            job_ids.append((await asyncio.gather(
+                faulty_then_good(port), serve))[0])
+
+        with caplog.at_level(logging.INFO, logger="repro.service.coordinator"):
+            asyncio.run(scenario())
+        disconnects = [r for r in caplog.records
+                       if "disconnected with a job in flight" in r.message]
+        requeues = [r for r in caplog.records if "job requeued" in r.message]
+        assert disconnects and requeues
+        for entry in disconnects + requeues:
+            assert entry.worker_id == "faulty"
+            assert entry.job_id == job_ids[0]
+            assert entry.reason
+        assert "faulty disconnected" in requeues[0].reason
+
+    def test_poison_job_log_names_worker_job_and_reason(self, caplog):
+        import logging
+
+        records = []
+        coordinator = Coordinator(_jobs(1), on_result=records.append,
+                                  max_requeues=1)
+
+        async def crash_on_job(port):
+            reader, writer = await _raw_client("127.0.0.1", port)
+            await _take_job(reader, writer)
+            writer.close()
+            await writer.wait_closed()
+
+        async def scenario():
+            serve = asyncio.create_task(coordinator.serve())
+            port = await coordinator.wait_started()
+            await crash_on_job(port)
+            await crash_on_job(port)
+            await serve
+
+        with caplog.at_level(logging.INFO, logger="repro.service.coordinator"):
+            asyncio.run(scenario())
+        lost = [r for r in caplog.records
+                if "poison job declared lost" in r.message]
+        assert len(lost) == 1
+        assert lost[0].worker_id == "faulty"
+        assert lost[0].job_id == records[0]["job_id"]
+        assert "disconnected" in lost[0].reason
+        # Per-worker requeue attribution survives into the snapshot.
+        assert coordinator.status_snapshot()["workers"]["faulty"]["requeues"] == 2

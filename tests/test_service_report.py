@@ -72,8 +72,20 @@ class TestDistributedAcceptance:
 class TestReportHeadlines:
     def test_all_tables_built(self, report_tables):
         assert set(report_tables) == {"table2", "table3", "table4", "table5",
-                                      "fig5", "machines"}
+                                      "fig5", "machines", "timings"}
         assert all(table.ok for table in report_tables.values())
+
+    def test_timings_table_accounts_for_every_job(self, report_tables):
+        table = report_tables["timings"]
+        # Every record the workers wrote carries phase timings, so the
+        # "timed" column equals the job count row by row.
+        assert table.rows
+        for row in table.rows:
+            assert row[1] == row[2], row
+        assert table.metrics["total_execute_s"] > 0
+        # The paper preset reuses each workload across engines, so the
+        # translation cache must have hit at least once.
+        assert 0 < table.metrics["cache_hit_rate"] <= 1
 
     def test_table2_dhrystone_ordering_and_density(self, report_tables):
         metrics = report_tables["table2"].metrics

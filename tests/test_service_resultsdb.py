@@ -165,3 +165,43 @@ class TestDeltas:
             db.ingest(a)
             with pytest.raises(StoreError):
                 db.deltas(a, "/nonexistent/run")
+
+
+class TestPhaseTimings:
+    def test_timing_columns_ingest_and_aggregate(self, two_identical_runs):
+        a, _ = two_identical_runs
+        with ResultsDB() as db:
+            db.ingest(a)
+            rows = {row["engine"]: row for row in db.phase_summary()}
+            fast = rows["fast"]
+            assert fast["jobs"] == fast["timed_jobs"] == 2
+            assert fast["execute_s"] > 0
+            assert fast["xlate_s"] >= 0 and fast["codegen_s"] >= 0
+            # Two optimize variants of one workload: the second translation
+            # at least hits the in-process memo.
+            assert fast["cache_known"] == 2
+            assert 0 <= fast["cache_hits"] <= 2
+
+    def test_records_without_timings_count_but_contribute_nothing(self, tmp_path):
+        store = RunStore(str(tmp_path / "run"))
+        store.initialize(SweepSpec(workloads=("bubble_sort",)))
+        store.append({"job_id": "aaa", "workload": "bubble_sort",
+                      "engine": "fast", "status": "ok"})  # pre-instrumentation
+        with ResultsDB() as db:
+            db.ingest(str(tmp_path / "run"))
+            rows = db.phase_summary()
+            assert rows == [{"engine": "fast", "jobs": 1, "timed_jobs": 0,
+                             "xlate_s": 0.0, "codegen_s": 0.0,
+                             "execute_s": 0.0, "cache_known": 0,
+                             "cache_hits": 0}]
+
+    def test_latest_only_excludes_superseded_runs(self, two_identical_runs):
+        a, b = two_identical_runs
+        with ResultsDB() as db:
+            db.ingest(a)
+            db.ingest(b)
+            latest = {row["engine"]: row for row in db.phase_summary()}
+            everything = {row["engine"]: row
+                          for row in db.phase_summary(latest_only=False)}
+            assert latest["fast"]["jobs"] == 2
+            assert everything["fast"]["jobs"] == 4
