@@ -8,6 +8,9 @@ typically observed ratio (record the real numbers with ``art9 bench
   (historically >10x; floor 3x);
 * the compiled superblock-codegen engine vs the fast interpreter
   (historically ~3x on Dhrystone steady state; floor 1.5x);
+* the profile-guided (chained-trace) compiled engine vs the plain
+  compiled engine on the long Dhrystone (historically ~1.6x, see
+  BENCH_9.json; floor: not slower);
 * all engines must report *identical* cycle counts — a speedup that
   changes the numbers is a bug, not an optimisation.
 
@@ -84,3 +87,40 @@ def test_speedup_floors(dhrystone_program):
     assert compiled_vs_fast >= 1.5, (
         f"compiled engine only {compiled_vs_fast:.2f}x over the fast engine "
         f"(fast {fast_s * 1e3:.1f} ms, compiled {compiled_s * 1e3:.1f} ms)")
+
+
+@pytest.fixture(scope="module")
+def dhrystone500_program(software_framework):
+    """The grown Dhrystone instance the chained-engine gate tracks."""
+    program, _, _ = software_framework.compile_named_workload(
+        "dhrystone", {"iterations": 500})
+    return program
+
+
+def test_chained_compiled_floor(dhrystone500_program):
+    """PGO-chained compiled ≥ plain compiled on dhrystone iterations=500.
+
+    The profile-guided mode recompiles hot superblocks as traces chained
+    across their dominant successors; on the long Dhrystone it has
+    measured ~1.6x over the plain compiled engine (BENCH_9.json).  The
+    gate floor is parity — chaining must never make the compiled engine
+    slower on its headline workload — so host noise cannot flake it while
+    a real regression (traces constantly bailing out, plan cache broken)
+    still trips it.
+    """
+    program = dhrystone500_program
+    # One untimed pass per side: fills the codegen memos and, for PGO,
+    # runs the one-time profiling pass that populates the plan memo.
+    plain_stats = CompiledEngine(program).run_with_stats()
+    chained_stats = CompiledEngine(program, pgo=True).run_with_stats()
+    assert chained_stats.cycles == plain_stats.cycles
+    assert chained_stats.stall_cycles == plain_stats.stall_cycles
+
+    plain_s = _best_seconds(
+        lambda: CompiledEngine(program).run_with_stats())
+    chained_s = _best_seconds(
+        lambda: CompiledEngine(program, pgo=True).run_with_stats())
+    ratio = plain_s / chained_s
+    assert ratio >= 1.0, (
+        f"chained compiled engine {ratio:.2f}x vs plain "
+        f"(plain {plain_s * 1e3:.1f} ms, chained {chained_s * 1e3:.1f} ms)")

@@ -14,7 +14,12 @@ whole fleet:
   optimize flag + :data:`~repro.xlate.translator.TRANSLATOR_VERSION`;
 * **codegen artifacts** (``kind="codegen"``) — the compiled engine's
   generated superblock sources, keyed by program content digest +
-  :data:`~repro.sim.compiled.CODEGEN_VERSION` + timing mode + TDM depth.
+  :data:`~repro.sim.compiled.CODEGEN_VERSION` + timing mode + TDM depth
+  (+ the chaining flag, and for PGO trace overlays the chain-plan digest);
+* **chain-plan artifacts** (``kind="chainplan"``) — the profile-guided
+  trace plans of :meth:`CompiledEngine._ensure_pgo_plan`, keyed by program
+  content digest + ``CHAIN_PLAN_VERSION`` + the profiling budget, so the
+  architectural profiling pass runs once per program across the fleet.
 
 Layout and invalidation
 -----------------------
@@ -192,6 +197,88 @@ class ArtifactCache:
                 except OSError:
                     pass
         return removed
+
+    def disk_stats(self) -> dict:
+        """On-disk footprint: entry counts and byte totals, per kind.
+
+        Unreadable files are skipped (a concurrent prune or writer may
+        remove entries mid-walk); the numbers are a point-in-time snapshot,
+        not a transaction.
+        """
+        kinds: Dict[str, dict] = {}
+        total_entries = 0
+        total_bytes = 0
+        for kind in self.kinds():
+            entries = 0
+            size = 0
+            base = os.path.join(self.root, kind)
+            for dirpath, _dirnames, filenames in os.walk(base):
+                for name in filenames:
+                    if not name.endswith(".json"):
+                        continue
+                    try:
+                        size += os.stat(os.path.join(dirpath, name)).st_size
+                    except OSError:
+                        continue
+                    entries += 1
+            kinds[kind] = {"entries": entries, "bytes": size}
+            total_entries += entries
+            total_bytes += size
+        return {"root": self.root, "entries": total_entries,
+                "bytes": total_bytes, "kinds": kinds}
+
+    def prune(self, max_bytes: int) -> dict:
+        """Evict least-recently-used artifacts until ≤ ``max_bytes`` remain.
+
+        Recency is the entry's mtime — readers do not bump it, so this is
+        LRU by *write/refresh* time: regenerated (or suffix-merged) entries
+        survive, artifacts nothing has rebuilt lately go first.  Removal is
+        corruption-safe by construction: entries are only ever whole files,
+        so deleting one can at worst cost a later cache miss.  Filesystem
+        errors are swallowed (a concurrently removed file is simply not
+        ours to count) and emptied shard directories are cleaned up.
+        Returns ``{"removed", "removed_bytes", "kept", "kept_bytes"}``.
+        """
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        entries = []  # (mtime, path, size)
+        for kind in self.kinds():
+            base = os.path.join(self.root, kind)
+            for dirpath, _dirnames, filenames in os.walk(base):
+                for name in filenames:
+                    # .tmp files from in-flight writers are not entries;
+                    # leave them for their owner's os.replace().
+                    if not name.endswith(".json"):
+                        continue
+                    path = os.path.join(dirpath, name)
+                    try:
+                        info = os.stat(path)
+                    except OSError:
+                        continue
+                    entries.append((info.st_mtime, path, info.st_size))
+        entries.sort()  # oldest first
+        total = sum(size for _mtime, _path, size in entries)
+        removed = removed_bytes = 0
+        index = 0
+        while total > max_bytes and index < len(entries):
+            _mtime, path, size = entries[index]
+            index += 1
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+            self._record("prune", "evictions", size)
+            removed += 1
+            removed_bytes += size
+            total -= size
+            parent = os.path.dirname(path)
+            try:
+                os.rmdir(parent)  # shard dir, only if now empty
+            except OSError:
+                pass
+        return {"removed": removed, "removed_bytes": removed_bytes,
+                "kept": len(entries) - removed,
+                "kept_bytes": total}
 
     def stats_line(self) -> str:
         """One-line hit/miss/write summary for logs and diagnostics."""

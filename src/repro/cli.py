@@ -11,6 +11,7 @@ Subcommands::
     art9 report                    paper tables (II-V, Fig. 5) from sweep runs
     art9 status                    sweep telemetry (live coordinator or run dir)
     art9 profile <workload>        hot-block execution profile (compiled engine)
+    art9 cache                     artifact-cache stats / LRU prune
     art9 fuzz                      differential-fuzz the five ART-9 executors
     art9 hw                        print the gate-level / FPGA analysis
     art9 workloads                 list the bundled benchmark workloads
@@ -18,7 +19,10 @@ Subcommands::
 ``run`` and ``bench`` accept ``--engine {fast,pipeline,compiled}`` to choose
 between the pre-decoded integer engine (default), the stage-by-stage
 pipeline model and the superblock code-generating engine; all three produce
-identical cycle statistics.  ``run``, ``bench``, ``fuzz``, ``sweep`` and
+identical cycle statistics.  ``run --engine compiled --pgo`` turns on the
+profile-guided recompilation mode (profile pass, then hot blocks recompiled
+as chained traces) — bit-identical results, higher throughput on loop-heavy
+programs.  ``run``, ``bench``, ``fuzz``, ``sweep`` and
 ``serve`` additionally accept ``--machine`` / ``--machines`` to select a
 built-in microarchitecture description (pipeline depth, branch policy,
 load-use penalty, fetch latency — see :mod:`repro.sim.machine`); the
@@ -96,11 +100,16 @@ def _cmd_translate(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.pgo and args.engine != "compiled":
+        print("art9 run: --pgo is a compiled-engine mode; pass "
+              "--engine compiled", file=sys.stderr)
+        return 2
     with open(args.source, "r", encoding="utf-8") as handle:
         source = handle.read()
     software = SoftwareFramework()
     program, report = software.compile_riscv_assembly(source, name=args.source)
-    hardware = HardwareFramework(engine=args.engine, machine=args.machine)
+    hardware = HardwareFramework(engine=args.engine, machine=args.machine,
+                                 pgo=args.pgo)
     stats = hardware.simulate(program)
     print(report.summary())
     print()
@@ -129,7 +138,11 @@ BENCH_JSON_VARIANTS = (
 #: Format 2 adds the per-machine-config Dhrystone rows (``machines`` key).
 #: Format 3 adds the batched-engine throughput rows (``batch`` key) with the
 #: ``jobs_per_second`` metric.
-BENCH_RECORD_FORMAT = 3
+#: Format 4 adds the chained (profile-guided) compiled-engine timings:
+#: ``compiled_chained_seconds`` / ``chained_speedup_vs_plain`` per workload
+#: row, with ``engines_agree`` widened to cover the PGO engine everywhere
+#: (workload, machine and batch rows alike).
+BENCH_RECORD_FORMAT = 4
 
 #: Workloads timed by the batched-throughput section: the two seed-variant
 #: sweep workloads whose grid points the batched backends actually group.
@@ -267,13 +280,21 @@ def _cmd_bench_json(args: argparse.Namespace) -> int:
 
     software = SoftwareFramework()
     rows = []
+    # "chained" is the profile-guided engine: bench is the two-pass PGO
+    # mode's automatic home (the profiling pass amortises across the
+    # repeat rounds through the process-wide chain-plan memo).
+    engine_factories = (
+        ("fast", FastEngine),
+        ("compiled", CompiledEngine),
+        ("chained", lambda program: CompiledEngine(program, pgo=True)),
+    )
     for name, params in BENCH_JSON_VARIANTS:
         program, _, workload = software.compile_named_workload(name, params)
         timings, stats = _bench_engine_seconds(
-            (("fast", FastEngine), ("compiled", CompiledEngine)),
-            program, args.repeat)
+            engine_factories, program, args.repeat)
         fast_seconds = timings["fast"]
         compiled_seconds = timings["compiled"]
+        chained_seconds = timings["chained"]
         label = name + ("[" + ",".join(f"{k}={v}" for k, v in sorted(params.items()))
                         + "]" if params else "")
         rows.append({
@@ -283,29 +304,38 @@ def _cmd_bench_json(args: argparse.Namespace) -> int:
             "iterations": workload.iterations,
             "cycles": stats["fast"].cycles,
             "instructions": stats["fast"].instructions_committed,
-            "engines_agree": stats["fast"].cycles == stats["compiled"].cycles,
+            "engines_agree": stats["fast"].cycles == stats["compiled"].cycles
+            == stats["chained"].cycles,
             "fast_seconds": round(fast_seconds, 6),
             "compiled_seconds": round(compiled_seconds, 6),
+            "compiled_chained_seconds": round(chained_seconds, 6),
             "compiled_speedup_vs_fast": round(fast_seconds / compiled_seconds, 6),
+            "chained_speedup_vs_fast": round(fast_seconds / chained_seconds, 6),
+            "chained_speedup_vs_plain": round(
+                compiled_seconds / chained_seconds, 6),
         })
         print(f"{label:32s} fast {fast_seconds * 1e3:8.2f} ms   "
               f"compiled {compiled_seconds * 1e3:8.2f} ms   "
-              f"{fast_seconds / compiled_seconds:5.2f}x")
+              f"chained {chained_seconds * 1e3:8.2f} ms   "
+              f"{compiled_seconds / chained_seconds:5.2f}x pgo")
     # Per-machine-config Dhrystone rows: the design-space sensitivity of the
-    # headline benchmark, cross-checked fast-vs-compiled at every corner.
+    # headline benchmark, cross-checked fast vs compiled vs PGO per corner.
     machine_rows = []
     program, _, workload = software.compile_named_workload("dhrystone", {})
     for machine in machine_names():
         fast_stats = FastEngine(program, machine=machine).run_with_stats()
         compiled_stats = CompiledEngine(
             program, machine=machine).run_with_stats()
+        pgo_stats = CompiledEngine(
+            program, machine=machine, pgo=True).run_with_stats()
         machine_rows.append({
             "machine": machine,
             "workload": "dhrystone",
             "iterations": workload.iterations,
             "cycles": fast_stats.cycles,
             "cpi": round(fast_stats.cpi, 6),
-            "engines_agree": fast_stats.cycles == compiled_stats.cycles,
+            "engines_agree": fast_stats.cycles == compiled_stats.cycles
+            == pgo_stats.cycles,
         })
         print(f"dhrystone@{machine:22s} {fast_stats.cycles:>10d} cycles   "
               f"CPI {fast_stats.cpi:5.3f}   "
@@ -696,7 +726,8 @@ def _cmd_status(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
-    from repro.sim.compiled import CompiledEngine
+    from repro.sim.compiled import CHAIN_PLAN_VERSION, CompiledEngine, \
+        chain_plan_digest
 
     params = {}
     if args.params:
@@ -716,37 +747,109 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     except (KeyError, TypeError) as exc:
         print(f"art9 profile: {exc}", file=sys.stderr)
         return 2
-    engine = CompiledEngine(program, machine=args.machine, profile=True)
+    # Profiles run on the unchained static partition — the same per-
+    # superblock rows PR 8 pinned, and exactly the probe pass the PGO mode
+    # derives its plan from (so --pgo-plan dumps what pgo=True would pick).
+    engine = CompiledEngine(program, machine=args.machine, profile=True,
+                            chain=False,
+                            record_edges=args.pgo_plan is not None)
     stats = engine.run_with_stats(max_cycles=args.max_cycles)
     rows = engine.block_profile()
     rows.sort(key=lambda row: (-row["instructions"], row["pc"]))
     executed = engine.instructions_executed
-    print(f"{args.workload}: {stats.cycles} cycles, "
-          f"{executed} instructions, CPI {stats.cpi:.3f}, "
-          f"{len(rows)} superblocks executed")
-    print()
-    header = (f"{'PC':>6s} {'executions':>12s} {'length':>7s} "
-              f"{'instructions':>13s} {'share':>7s}  cumulative")
-    print(header)
-    print("-" * len(header))
-    cumulative = 0
-    for row in rows[:args.top]:
-        cumulative += row["instructions"]
-        print(f"{row['pc']:>6d} {row['executions']:>12d} {row['length']:>7d} "
-              f"{row['instructions']:>13d} "
-              f"{row['instructions'] / executed:>6.1%}  "
-              f"{cumulative / executed:>6.1%}")
-    if len(rows) > args.top:
-        rest = sum(row["instructions"] for row in rows[args.top:])
-        print(f"... {len(rows) - args.top} more blocks accounting for "
-              f"{rest} instructions ({rest / executed:.1%})")
     accounted = sum(row["instructions"] for row in rows)
+    if args.pgo_plan:
+        plan = engine.pgo_plan_from_profile()
+        payload = {
+            "version": CHAIN_PLAN_VERSION,
+            "workload": args.workload,
+            "params": params,
+            "machine": args.machine,
+            "program_digest": engine.content_digest(),
+            "digest": chain_plan_digest(plan),
+            "traces": {str(head): members
+                       for head, members in sorted(plan.items())},
+        }
+        with open(args.pgo_plan, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"pgo chain plan ({len(plan)} traces) written to "
+              f"{args.pgo_plan}", file=sys.stderr)
+    if args.json_out:
+        document = {
+            "workload": args.workload,
+            "params": params,
+            "machine": args.machine,
+            "optimize": not args.no_optimize,
+            "cycles": stats.cycles,
+            "instructions": executed,
+            "cpi": round(stats.cpi, 6),
+            "superblocks": len(rows),
+            "accounted": accounted == executed,
+            "blocks": rows,
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(f"{args.workload}: {stats.cycles} cycles, "
+              f"{executed} instructions, CPI {stats.cpi:.3f}, "
+              f"{len(rows)} superblocks executed")
+        print()
+        header = (f"{'PC':>6s} {'executions':>12s} {'length':>7s} "
+                  f"{'instructions':>13s} {'share':>7s}  cumulative")
+        print(header)
+        print("-" * len(header))
+        cumulative = 0
+        for row in rows[:args.top]:
+            cumulative += row["instructions"]
+            print(f"{row['pc']:>6d} {row['executions']:>12d} "
+                  f"{row['length']:>7d} {row['instructions']:>13d} "
+                  f"{row['instructions'] / executed:>6.1%}  "
+                  f"{cumulative / executed:>6.1%}")
+        if len(rows) > args.top:
+            rest = sum(row["instructions"] for row in rows[args.top:])
+            print(f"... {len(rows) - args.top} more blocks accounting for "
+                  f"{rest} instructions ({rest / executed:.1%})")
     if accounted != executed:
         print(f"art9 profile: block counters account for {accounted} "
               f"instructions but the engine executed {executed} — "
               "profile instrumentation bug", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.cache import ArtifactCache, default_cache_root
+
+    if args.cache_command is None:
+        print("art9 cache: pass a subcommand (stats | prune)",
+              file=sys.stderr)
+        return 2
+    root = args.dir or default_cache_root()
+    cache = ArtifactCache(root)
+    if args.cache_command == "stats":
+        stats = cache.disk_stats()
+        if args.json_out:
+            print(json.dumps(stats, indent=2, sort_keys=True))
+            return 0
+        print(f"artifact cache {stats['root']}")
+        print(f"{'kind':12s} {'entries':>8s} {'bytes':>12s}")
+        for kind, row in sorted(stats["kinds"].items()):
+            print(f"{kind:12s} {row['entries']:>8d} {row['bytes']:>12d}")
+        print(f"{'total':12s} {stats['entries']:>8d} {stats['bytes']:>12d}")
+        return 0
+    if args.cache_command == "prune":
+        try:
+            result = cache.prune(args.max_bytes)
+        except ValueError as exc:
+            print(f"art9 cache: {exc}", file=sys.stderr)
+            return 2
+        print(f"pruned {result['removed']} entries "
+              f"({result['removed_bytes']} bytes); "
+              f"{result['kept']} kept ({result['kept_bytes']} bytes) "
+              f"in {root}")
+        return 0
+    print("art9 cache: pass a subcommand (stats | prune)", file=sys.stderr)
+    return 2
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -836,6 +939,11 @@ def build_parser() -> argparse.ArgumentParser:
                      default=DEFAULT_MACHINE_NAME,
                      help="machine (microarchitecture) config "
                           f"(default: {DEFAULT_MACHINE_NAME})")
+    run.add_argument("--pgo", action="store_true",
+                     help="profile-guided recompilation (compiled engine "
+                          "only): profile one architectural pass, then "
+                          "recompile hot superblocks as chained traces; "
+                          "results are bit-identical")
     run.set_defaults(func=_cmd_run)
 
     bench = subparsers.add_parser("bench", help="run the bundled benchmarks")
@@ -984,7 +1092,37 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--max-cycles", type=int, default=DEFAULT_MAX_CYCLES,
                          help="cycle budget (default: "
                               f"{DEFAULT_MAX_CYCLES})")
+    profile.add_argument("--json", action="store_true", dest="json_out",
+                         help="emit the full profile as JSON on stdout "
+                              "instead of the table")
+    profile.add_argument("--pgo-plan", metavar="PATH", default=None,
+                         help="also write the chain plan the PGO mode would "
+                              "derive from this profile (trace heads -> "
+                              "chained block lists, with the plan digest "
+                              "that joins the codegen cache key)")
     profile.set_defaults(func=_cmd_profile)
+
+    cache_cmd = subparsers.add_parser(
+        "cache",
+        help="artifact-cache maintenance: disk stats and LRU pruning")
+    cache_sub = cache_cmd.add_subparsers(dest="cache_command")
+    cache_stats = cache_sub.add_parser(
+        "stats", help="per-kind entry counts and byte totals")
+    cache_stats.add_argument("--dir", default=None,
+                             help="cache root (default: $ART9_CACHE_DIR or "
+                                  "~/.cache/art9)")
+    cache_stats.add_argument("--json", action="store_true", dest="json_out",
+                             help="emit the stats as JSON")
+    cache_prune = cache_sub.add_parser(
+        "prune", help="evict least-recently-written artifacts down to a "
+                      "byte budget (atomic per entry; a pruned entry is "
+                      "at worst a later cache miss)")
+    cache_prune.add_argument("--max-bytes", type=int, required=True,
+                             help="target total size in bytes")
+    cache_prune.add_argument("--dir", default=None,
+                             help="cache root (default: $ART9_CACHE_DIR or "
+                                  "~/.cache/art9)")
+    cache_cmd.set_defaults(func=_cmd_cache, cache_command=None)
 
     fuzz_cmd = subparsers.add_parser(
         "fuzz", help="differential-fuzz all five executors (functional, "

@@ -103,6 +103,85 @@ class TestArtifactCacheStore:
         reset_default_cache()
 
 
+class TestCacheGrowthControl:
+    """disk_stats() and prune(): the ``art9 cache`` maintenance surface."""
+
+    @staticmethod
+    def _age(cache, kind, material, seconds_ago):
+        """Backdate one entry's mtime so LRU order is deterministic."""
+        path = cache.path_for(kind, cache_key(material))
+        stamp = os.stat(path).st_mtime - seconds_ago
+        os.utime(path, (stamp, stamp))
+
+    def test_disk_stats_counts_entries_and_bytes_per_kind(self, cache):
+        cache.put_json("alpha", {"i": 1}, {"pad": "x" * 64})
+        cache.put_json("alpha", {"i": 2}, {"pad": "y" * 64})
+        cache.put_json("beta", {"i": 1}, {})
+        stats = cache.disk_stats()
+        assert stats["root"] == cache.root
+        assert stats["entries"] == 3
+        assert set(stats["kinds"]) == {"alpha", "beta"}
+        assert stats["kinds"]["alpha"]["entries"] == 2
+        assert stats["kinds"]["beta"]["entries"] == 1
+        assert stats["bytes"] == (stats["kinds"]["alpha"]["bytes"]
+                                  + stats["kinds"]["beta"]["bytes"])
+        assert stats["kinds"]["alpha"]["bytes"] > stats["kinds"]["beta"]["bytes"]
+
+    def test_disk_stats_on_missing_root_is_empty(self, tmp_path):
+        stats = ArtifactCache(str(tmp_path / "never-written")).disk_stats()
+        assert stats["entries"] == 0 and stats["bytes"] == 0
+        assert stats["kinds"] == {}
+
+    def test_prune_evicts_oldest_first_until_under_budget(self, cache):
+        for index in range(4):
+            cache.put_json("probe", {"i": index}, {"pad": "z" * 100})
+        # Oldest → newest: 0, 1, 2, 3.
+        for index in range(4):
+            self._age(cache, "probe", {"i": index}, seconds_ago=(4 - index) * 60)
+        total = cache.disk_stats()["bytes"]
+        per_entry = total // 4
+        summary = cache.prune(max_bytes=total - per_entry)
+        assert summary["removed"] == 1
+        assert summary["kept"] == 3
+        # The oldest entry went; the newest three survive.
+        assert cache.get_json("probe", {"i": 0}) is None
+        for index in (1, 2, 3):
+            assert cache.get_json("probe", {"i": index}) is not None
+        assert cache.disk_stats()["bytes"] <= total - per_entry
+
+    def test_prune_zero_clears_everything_and_shard_dirs(self, cache):
+        cache.put_json("alpha", {"i": 1}, {})
+        cache.put_json("beta", {"i": 1}, {})
+        summary = cache.prune(max_bytes=0)
+        assert summary["removed"] == 2 and summary["kept"] == 0
+        assert summary["kept_bytes"] == 0
+        assert cache.entry_count() == 0
+        for kind in ("alpha", "beta"):
+            base = os.path.join(cache.root, kind)
+            assert os.listdir(base) == []  # emptied shard dirs removed
+
+    def test_prune_under_budget_is_a_no_op(self, cache):
+        cache.put_json("probe", {"i": 1}, {"keep": True})
+        summary = cache.prune(max_bytes=10**9)
+        assert summary["removed"] == 0
+        assert cache.get_json("probe", {"i": 1}) == {"keep": True}
+
+    def test_prune_rejects_negative_budget(self, cache):
+        with pytest.raises(ValueError, match="max_bytes"):
+            cache.prune(max_bytes=-1)
+
+    def test_prune_leaves_in_flight_temp_files_alone(self, cache):
+        cache.put_json("probe", {"i": 1}, {})
+        shard = os.path.dirname(cache.path_for("probe",
+                                               cache_key({"i": 1})))
+        temp = os.path.join(shard, "writerXYZ.tmp")
+        with open(temp, "w", encoding="utf-8") as handle:
+            handle.write("{partial")
+        cache.prune(max_bytes=0)
+        assert os.path.exists(temp)  # the in-flight writer's file survives
+        assert cache.get_json("probe", {"i": 1}) is None
+
+
 class TestProgramSerialisation:
     @pytest.fixture(scope="class")
     def translated(self):

@@ -61,6 +61,16 @@ class TestRun:
         with pytest.raises(SystemExit):
             main(["run", rv_file, "--engine", "quantum"])
 
+    def test_run_pgo_matches_plain_compiled(self, rv_file, capsys):
+        assert main(["run", rv_file, "--engine", "compiled", "--pgo"]) == 0
+        pgo_out = capsys.readouterr().out
+        assert main(["run", rv_file, "--engine", "compiled"]) == 0
+        assert pgo_out == capsys.readouterr().out  # bit-identical summary
+
+    def test_run_pgo_requires_the_compiled_engine(self, rv_file, capsys):
+        assert main(["run", rv_file, "--pgo"]) == 2  # default engine is fast
+        assert "--pgo" in capsys.readouterr().err
+
 
 class TestBench:
     def test_bench_single_workload(self, capsys):
@@ -91,13 +101,16 @@ class TestBench:
         assert "bench record written" in capsys.readouterr().out
         with open(path, "r", encoding="utf-8") as handle:
             record = json.load(handle)
-        assert record["format"] == 3
+        assert record["format"] == 4
         labels = {row["label"] for row in record["workloads"]}
         assert "dhrystone[iterations=500]" in labels
         for row in record["workloads"]:
             assert row["engines_agree"] is True
             assert row["fast_seconds"] > 0 and row["compiled_seconds"] > 0
             assert row["compiled_speedup_vs_fast"] > 0
+            assert row["compiled_chained_seconds"] > 0
+            assert row["chained_speedup_vs_fast"] > 0
+            assert row["chained_speedup_vs_plain"] > 0
         machines = {row["machine"] for row in record["machines"]}
         assert "paper3stage" in machines and len(machines) >= 3
         for row in record["machines"]:
@@ -210,7 +223,7 @@ class TestBenchJsonOverwrite:
                      "--no-sweep-timing", "--batch-lanes", "4"]) == 0
         capsys.readouterr()
         with open(path, "r", encoding="utf-8") as handle:
-            assert json.load(handle)["format"] == 3
+            assert json.load(handle)["format"] == 4
 
 
 class TestStatus:
@@ -304,3 +317,79 @@ class TestProfile:
     def test_malformed_params_fail_cleanly(self, capsys):
         assert main(["profile", "gemm", "--params", "{oops"]) == 2
         assert "--params" in capsys.readouterr().err
+
+    def test_profile_json_document(self, capsys):
+        import json
+
+        assert main(["profile", "bubble_sort", "--params", '{"length": 8}',
+                     "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["workload"] == "bubble_sort"
+        assert document["accounted"] is True
+        assert document["instructions"] == sum(
+            row["instructions"] for row in document["blocks"])
+        assert document["superblocks"] == len(document["blocks"])
+        for row in document["blocks"]:
+            assert row["instructions"] == row["executions"] * row["length"]
+
+    def test_profile_pgo_plan_dump(self, tmp_path, capsys):
+        import json
+
+        path = str(tmp_path / "plan.json")
+        assert main(["profile", "dhrystone", "--pgo-plan", path]) == 0
+        captured = capsys.readouterr()
+        assert "pgo chain plan" in captured.err
+        with open(path, "r", encoding="utf-8") as handle:
+            plan = json.load(handle)
+        assert plan["workload"] == "dhrystone"
+        assert plan["traces"], "dhrystone's hot loops must yield traces"
+        for head, members in plan["traces"].items():
+            assert members[0] == int(head)
+            assert len(members) >= 2
+
+
+class TestCacheCommand:
+    @pytest.fixture
+    def populated_root(self, tmp_path):
+        from repro.cache import ArtifactCache
+
+        root = str(tmp_path / "cache")
+        cache = ArtifactCache(root)
+        for index in range(3):
+            cache.put_json("probe", {"i": index}, {"pad": "x" * 200})
+        return root
+
+    def test_stats_table(self, populated_root, capsys):
+        assert main(["cache", "stats", "--dir", populated_root]) == 0
+        out = capsys.readouterr().out
+        assert populated_root in out
+        assert "probe" in out and "total" in out
+
+    def test_stats_json(self, populated_root, capsys):
+        import json
+
+        assert main(["cache", "stats", "--dir", populated_root,
+                     "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 3
+        assert stats["kinds"]["probe"]["entries"] == 3
+        assert stats["bytes"] > 0
+
+    def test_prune_to_zero(self, populated_root, capsys):
+        assert main(["cache", "prune", "--max-bytes", "0",
+                     "--dir", populated_root]) == 0
+        assert "pruned 3 entries" in capsys.readouterr().out
+        assert main(["cache", "stats", "--dir", populated_root,
+                     "--json"]) == 0
+        import json
+
+        assert json.loads(capsys.readouterr().out)["entries"] == 0
+
+    def test_prune_rejects_negative_budget(self, populated_root, capsys):
+        assert main(["cache", "prune", "--max-bytes", "-5",
+                     "--dir", populated_root]) == 2
+        assert "max_bytes" in capsys.readouterr().err
+
+    def test_bare_cache_command_fails_with_usage(self, capsys):
+        assert main(["cache"]) == 2
+        assert "stats | prune" in capsys.readouterr().err

@@ -1,0 +1,375 @@
+"""Superblock chaining and profile-guided recompilation tests.
+
+The broad bit-identity evidence for the chained-by-default engine lives in
+the differential/golden suites (which now execute chained code paths
+everywhere); this file pins the chaining-specific machinery:
+
+* the static chain builder (JAL inlining, single-predecessor fall-through,
+  join points and ambiguous branches rejected);
+* the PGO plan derivation (hot-share gate, dominant-successor extension)
+  and its stable digest;
+* the two-pass PGO engine's parity with FastEngine — goldens, all machine
+  configs, randomized fuzz, and the awkward seams: JALR landing inside a
+  chained region, memory faults mid-chain and mid-PGO-trace, cold-path
+  bail-outs;
+* cache-key isolation between plain / chained / profiled / PGO artifacts
+  and the cacheable chain plan;
+* ``block_profile()`` accounting summing exactly to the executed
+  instruction count under chaining, bail-outs and faults.
+"""
+
+import glob
+import json
+import os
+
+import pytest
+
+from repro.cache import ArtifactCache, cache_key
+from repro.framework import SoftwareFramework
+from repro.isa.assembler import assemble
+from repro.sim import (
+    CompiledEngine,
+    FastEngine,
+    MemoryError_,
+    SimulationError,
+)
+from repro.sim.compiled import (
+    _PLAN_MEMO,
+    CHAIN_PLAN_VERSION,
+    build_chain,
+    chain_plan_digest,
+    chain_span,
+    pgo_chain_plan,
+    superblock_leaders,
+    superblock_span,
+    _static_pred_counts,
+)
+from repro.sim.machine import machine_names
+from repro.sim.trace import state_digest, trace_mismatches
+from repro.testing import generate_program
+from repro.testing.differential import STATS_FIELDS
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+GOLDEN_PATHS = sorted(glob.glob(os.path.join(GOLDEN_DIR, "*.json")))
+
+_software = SoftwareFramework(optimize=True)
+
+
+def _predecode(program):
+    return FastEngine._predecode(program)
+
+
+def _fixture_id(path):
+    return os.path.splitext(os.path.basename(path))[0]
+
+
+@pytest.fixture(scope="module")
+def dhrystone_program():
+    program, _, _ = _software.compile_named_workload("dhrystone", {})
+    return program
+
+
+class TestChainPlanMachinery:
+    def test_static_chain_inlines_jal_target(self):
+        program = assemble(
+            "LI T1, 3\nJAL T8, callee\nHALT\ncallee:\nADDI T1, 1\nHALT")
+        records = _predecode(program)
+        leaders = superblock_leaders(records)
+        preds = _static_pred_counts(records, leaders)
+        chain = build_chain(records, leaders, preds, 0)
+        assert chain == [0, 3]
+        assert chain_span(records, leaders, chain) == [0, 1, 3, 4]
+
+    def test_fall_through_join_point_is_not_chained(self):
+        # The block after the BNE falls through into `skip`, but `skip`
+        # has two static predecessors (the fall-through and the branch),
+        # so inlining it would duplicate a join point.
+        program = assemble(
+            "BNE T1, 0, skip\nADDI T2, 1\nskip:\nHALT")
+        records = _predecode(program)
+        leaders = superblock_leaders(records)
+        preds = _static_pred_counts(records, leaders)
+        assert build_chain(records, leaders, preds, 0) == [0]  # ends BNE
+        assert build_chain(records, leaders, preds, 1) == [1]  # join ahead
+
+    def test_chain_span_rejects_ambiguous_branch_seam(self):
+        # imm == 1: taken and fall-through targets coincide but their
+        # redirect costs differ, so no constant seam gap exists.
+        program = assemble("BNE T1, 0, next\nnext:\nHALT")
+        records = _predecode(program)
+        leaders = superblock_leaders(records)
+        with pytest.raises(ValueError, match="ambiguous"):
+            chain_span(records, leaders, [0, 1])
+
+    def test_chain_span_rejects_non_successor_seam(self):
+        program = assemble(
+            "LI T1, 3\nJAL T8, callee\nHALT\ncallee:\nADDI T1, 1\nHALT")
+        records = _predecode(program)
+        leaders = superblock_leaders(records)
+        with pytest.raises(ValueError, match="JAL target mismatch"):
+            chain_span(records, leaders, [0, 2])
+
+    def test_pgo_plan_extends_through_dominant_branch(self):
+        program = assemble(
+            "LI T1, 10\nloop:\nADDI T1, -1\nBNE T1, 0, loop\nHALT")
+        records = _predecode(program)
+        leaders = superblock_leaders(records)
+        counts = {0: 1, 1: 10, 3: 1}
+        # Fall-through dominant: the loop-exit direction extends the trace.
+        # The entry block 0 is hot too and chains through the same seam.
+        plan = pgo_chain_plan(records, leaders, counts,
+                              {(1, 3): 9, (1, 1): 1})
+        assert plan[1] == [1, 3]
+        assert plan[0] == [0, 1, 3]
+        # No dominant direction: the branch ends the trace.
+        plan = pgo_chain_plan(records, leaders, counts,
+                              {(1, 3): 5, (1, 1): 5})
+        assert 1 not in plan
+
+    def test_pgo_plan_hot_share_gate(self):
+        program = assemble(
+            "LI T1, 10\nloop:\nADDI T1, -1\nBNE T1, 0, loop\nHALT")
+        records = _predecode(program)
+        leaders = superblock_leaders(records)
+        # Block 1 is cold relative to the total: no trace for it, even
+        # though its exit edge is 100% dominant — only the hot entry block
+        # earns one.
+        plan = pgo_chain_plan(records, leaders, {0: 100_000, 1: 1, 3: 1},
+                              {(1, 3): 1})
+        assert 1 not in plan
+        assert 3 not in plan
+        # An empty profile yields an empty plan, never a division error.
+        assert pgo_chain_plan(records, leaders, {}, {}) == {}
+
+    def test_chain_plan_digest_is_order_insensitive_and_content_bound(self):
+        a = {1: [1, 3], 5: [5, 6]}
+        b = {5: [5, 6], 1: [1, 3]}
+        assert chain_plan_digest(a) == chain_plan_digest(b)
+        assert chain_plan_digest(a) != chain_plan_digest({1: [1, 3]})
+
+
+class TestPgoParity:
+    @pytest.mark.parametrize("machine", machine_names())
+    def test_pgo_matches_fast_engine_on_dhrystone(self, dhrystone_program,
+                                                  machine):
+        fast = FastEngine(dhrystone_program, machine=machine)
+        fast_stats = fast.run_with_stats()
+        engine = CompiledEngine(dhrystone_program, cache=None,
+                                machine=machine, pgo=True)
+        stats = engine.run_with_stats()
+        for field in STATS_FIELDS:
+            assert getattr(stats, field) == getattr(fast_stats, field), field
+        assert engine.register_snapshot() == fast.register_snapshot()
+        assert engine.tdm.contents() == fast.tdm.contents()
+
+    @pytest.mark.parametrize("path", GOLDEN_PATHS, ids=_fixture_id)
+    def test_pgo_engine_matches_golden(self, path):
+        with open(path, "r", encoding="utf-8") as handle:
+            trace = json.load(handle)
+        program, _, _ = _software.compile_named_workload(
+            trace["workload"], trace["params"])
+        engine = CompiledEngine(program, cache=None, pgo=True)
+        stats = engine.run_with_stats(max_cycles=50_000_000)
+        mismatches = trace_mismatches(
+            trace, engine.register_snapshot(), engine.tdm.contents(), stats)
+        assert not mismatches, "\n".join(mismatches)
+        assert state_digest(engine.register_snapshot(),
+                            engine.tdm.contents()) == trace["state_digest"]
+
+    @pytest.mark.parametrize("machine", ["paper3stage", "btfn4"])
+    def test_pgo_fuzz_parity(self, machine):
+        """Randomized programs: PGO engine vs FastEngine, errors included."""
+        budget = 20_000
+        for seed in range(25):
+            program = generate_program(seed)
+            fast = FastEngine(program, machine=machine)
+            engine = CompiledEngine(program, cache=None, machine=machine,
+                                    pgo=True, pgo_budget=2_000)
+            fast_error = engine_error = None
+            try:
+                fast.run(max_instructions=budget)
+            except (SimulationError, MemoryError_) as exc:
+                fast_error = str(exc)
+            try:
+                engine.run(max_instructions=budget)
+            except (SimulationError, MemoryError_) as exc:
+                engine_error = str(exc)
+            assert engine_error == fast_error, f"seed {seed}"
+            if fast_error is None:
+                assert engine.register_snapshot() == \
+                    fast.register_snapshot(), f"seed {seed}"
+                assert engine.tdm.contents() == fast.tdm.contents(), \
+                    f"seed {seed}"
+                assert engine.instructions_executed == \
+                    fast.instructions_executed, f"seed {seed}"
+
+
+class TestChainEdgeCases:
+    def test_jalr_lands_mid_chained_trace(self):
+        # The JAL at 2 chains block [0..2] with block [4..6]; the first
+        # JALR then lands at address 5 — *inside* the chained span, at an
+        # address that is not a block leader — forcing a lazy suffix
+        # compile that must reproduce the fast engine exactly.
+        source = (
+            "LI T1, 5\n"
+            "LI T5, 1\n"
+            "JAL T8, tail\n"
+            "HALT\n"
+            "tail:\n"
+            "ADDI T3, 1\n"
+            "ADDI T3, 1\n"
+            "BNE T5, 0, go\n"
+            "LI T1, 3\n"
+            "go:\n"
+            "LI T5, 0\n"
+            "JALR T2, T1, 0\n"
+        )
+        program = assemble(source, name="jalr-into-chain")
+        engine = CompiledEngine(program, cache=None)
+        assert any(len(chain) > 1 for chain in engine.chain_map().values())
+        fast = FastEngine(program)
+        fast_stats = fast.run_with_stats()
+        stats = engine.run_with_stats()
+        assert stats.cycles == fast_stats.cycles
+        assert engine.register_snapshot() == fast.register_snapshot()
+        assert 5 in engine._tables[True]  # the lazily compiled suffix
+
+    def test_fault_mid_static_chain(self):
+        # The STORE faults in the *second* block of a static JAL chain:
+        # the restored architectural state (pc, committed count, register
+        # prefix, instruction mix) must match the fast engine's strictly.
+        program = assemble(
+            "LI T2, 100\nJAL T8, tail\nHALT\n"
+            "tail:\nADDI T3, 1\nSTORE T1, T2, 0\nHALT",
+            name="fault-mid-chain")
+        fast = FastEngine(program, tdm_depth=64)
+        engine = CompiledEngine(program, tdm_depth=64, cache=None)
+        assert engine.chain_map(), "fault block must be chain-interior"
+        with pytest.raises(MemoryError_) as fast_exc:
+            fast.run()
+        with pytest.raises(MemoryError_) as engine_exc:
+            engine.run()
+        assert str(engine_exc.value) == str(fast_exc.value)
+        assert engine.pc == fast.pc == 4
+        assert engine.instructions_executed == fast.instructions_executed == 3
+        assert engine.registers_snapshot() == fast.registers_snapshot()
+        assert engine.instruction_mix() == fast.instruction_mix()
+
+    def test_fault_mid_pgo_trace(self, tmp_path):
+        # A deterministic program that faults cannot finish its own
+        # profiling pass, so the trace is injected through the cacheable
+        # chain-plan artifact — which also pins the cache-load path.  The
+        # plan chains across a conditional seam (something static chaining
+        # never does), and the STORE then faults inside the trace's
+        # second block.
+        program = assemble(
+            "LI T2, 100\nLI T5, 0\nBNE T5, 0, alt\n"
+            "ADDI T3, 1\nSTORE T1, T2, 0\nHALT\nalt:\nHALT",
+            name="fault-mid-pgo-trace")
+        cache = ArtifactCache(str(tmp_path / "artifacts"))
+        probe = CompiledEngine(program, tdm_depth=64, cache=None)
+        _PLAN_MEMO.clear()
+        cache.put_json("chainplan", probe._plan_key_material(),
+                       {"traces": {"0": [0, 3]}})
+        engine = CompiledEngine(program, tdm_depth=64, cache=cache, pgo=True)
+        engine.prepare(timing=False)
+        assert engine.pgo_trace_map() == {0: [0, 3]}
+        fast = FastEngine(program, tdm_depth=64)
+        with pytest.raises(MemoryError_) as fast_exc:
+            fast.run()
+        with pytest.raises(MemoryError_) as engine_exc:
+            engine.run()
+        assert str(engine_exc.value) == str(fast_exc.value)
+        assert engine.pc == fast.pc == 4
+        assert engine.instructions_executed == fast.instructions_executed
+        assert engine.registers_snapshot() == fast.registers_snapshot()
+        assert engine.instruction_mix() == fast.instruction_mix()
+
+    def test_pgo_trace_bailout_and_profile_accounting(self, tmp_path):
+        # A loop whose back-edge is dominant (59 of 60 outcomes): the PGO
+        # trace chains across the conditional, runs the hot direction
+        # inline and bails out to the dispatch table exactly once, on the
+        # final iteration.  Timing, architectural state and the profile
+        # accounting must all survive the bail-out.
+        program = assemble(
+            "LI T1, 60\nloop:\nADDI T1, -1\nBNE T1, 0, cont\nHALT\n"
+            "cont:\nADDI T3, 1\nJAL T8, loop",
+            name="pgo-bailout")
+        cache = ArtifactCache(str(tmp_path / "artifacts"))
+        _PLAN_MEMO.clear()
+        engine = CompiledEngine(program, cache=cache, pgo=True, profile=True)
+        stats = engine.run_with_stats()
+        assert engine.pgo_trace_map().get(1) == [1, 4]
+        assert engine._trace_bails, "the loop exit must bail out"
+        fast = FastEngine(program)
+        fast_stats = fast.run_with_stats()
+        for field in STATS_FIELDS:
+            assert getattr(stats, field) == getattr(fast_stats, field), field
+        assert engine.register_snapshot() == fast.register_snapshot()
+        rows = engine.block_profile()
+        assert sum(row["instructions"] for row in rows) == \
+            engine.instructions_executed
+        # The plan survived as a cache artifact for the next process.
+        assert "chainplan" in cache.kinds()
+
+    def test_block_profile_sums_under_static_chaining(self, dhrystone_program):
+        engine = CompiledEngine(dhrystone_program, cache=None, profile=True)
+        engine.run_with_stats()
+        assert engine.chain_map(), "dhrystone must form static chains"
+        rows = engine.block_profile()
+        assert sum(row["instructions"] for row in rows) == \
+            engine.instructions_executed
+
+
+class TestCacheKeyIsolation:
+    def test_plain_chained_profiled_pgo_bundles_never_cross(self, tmp_path):
+        # The hot trace crosses the conditional back-to-top seam, which
+        # static chaining cannot take — so the PGO overlay survives the
+        # identical-to-static filter and gets its own codegen bundle.
+        program = assemble(
+            "LI T1, 30\nloop:\nADDI T1, -1\nBNE T1, 0, cont\nHALT\n"
+            "cont:\nADDI T3, 1\nJAL T8, loop",
+            name="key-isolation")
+        cache = ArtifactCache(str(tmp_path / "artifacts"))
+        _PLAN_MEMO.clear()
+        plain = CompiledEngine(program, cache=cache, chain=False)
+        chained = CompiledEngine(program, cache=cache)
+        profiled = CompiledEngine(program, cache=cache, profile=True,
+                                  chain=False)
+        for engine in (plain, chained, profiled):
+            engine.prepare(timing=True)
+        keys = {cache_key(engine._cache_key_material(True))
+                for engine in (plain, chained, profiled)}
+        assert len(keys) == 3, "plain/chained/profiled share a cache key"
+        for key in keys:
+            assert os.path.exists(cache.path_for("codegen", key))
+        before = cache.entry_count("codegen")
+        pgo = CompiledEngine(program, cache=cache, pgo=True)
+        pgo.prepare(timing=True)
+        assert pgo.pgo_trace_map(), "the hot loop must get a PGO trace"
+        # The overlay bundle is keyed separately (variant + plan digest):
+        # installing it must add entries, never overwrite the plain ones.
+        assert cache.entry_count("codegen") > before
+        assert "chainplan" in cache.kinds()
+        for key in keys:
+            assert os.path.exists(cache.path_for("codegen", key))
+
+    def test_cached_chain_plan_is_revalidated_against_the_program(
+            self, tmp_path):
+        # A plan whose seams no longer exist (here: pointing a chain at a
+        # non-successor) must be discarded, not executed.
+        program = assemble(
+            "LI T1, 3\nJAL T8, callee\nHALT\ncallee:\nADDI T1, 1\nHALT",
+            name="stale-plan")
+        cache = ArtifactCache(str(tmp_path / "artifacts"))
+        probe = CompiledEngine(program, cache=None)
+        _PLAN_MEMO.clear()
+        cache.put_json("chainplan", probe._plan_key_material(),
+                       {"traces": {"2": [2, 0]}})
+        engine = CompiledEngine(program, cache=cache, pgo=True)
+        engine.prepare(timing=False)
+        assert engine.pgo_trace_map() == {}
+        fast = FastEngine(program)
+        fast.run()
+        engine.run()
+        assert engine.register_snapshot() == fast.register_snapshot()
