@@ -82,8 +82,10 @@ from repro.service import (
     request_status,
     work,
 )
-from repro.service.protocol import DEFAULT_PORT
+from repro.service.journal import RunJournal, journal_path, recover_run
+from repro.service.protocol import AUTH_TOKEN_ENV, DEFAULT_PORT
 from repro.sim.machine import DEFAULT_MACHINE_NAME, machine_names
+from repro.testing.chaos import CHAOS_SCENARIOS
 from repro.workloads import all_workloads, get_workload
 
 
@@ -539,9 +541,29 @@ def _run_sweep_command(args: argparse.Namespace) -> int:
     return _finish_sweep(args, outcome)
 
 
+def _auth_token_from(args: argparse.Namespace) -> Optional[str]:
+    """Shared worker-auth token: flag first, then ``ART9_AUTH_TOKEN``."""
+    token = getattr(args, "auth_token", None)
+    if token is None:
+        token = os.environ.get(AUTH_TOKEN_ENV)
+    return token or None
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     try:
-        spec = _sweep_spec_from_args(args)
+        if args.resume_dir:
+            if args.no_resume:
+                raise SpecError("--resume RUN_DIR and --no-resume contradict "
+                                "each other; drop one")
+            store = RunStore(args.resume_dir)
+            if not store.exists():
+                raise SpecError(
+                    f"--resume: {args.resume_dir!r} is not a sweep run "
+                    "directory (no spec.json)")
+            spec = store.load_spec()
+            args.out = args.resume_dir
+        else:
+            spec = _sweep_spec_from_args(args)
     except (SpecError, StoreError, json.JSONDecodeError) as exc:
         print(f"art9 serve: {exc}", file=sys.stderr)
         return 2
@@ -556,6 +578,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     if args.trace:
         _enable_trace(args.out)
+    os.makedirs(args.out, exist_ok=True)
+    if args.no_resume and os.path.exists(journal_path(args.out)):
+        # --no-resume recomputes from scratch: the old run's lifecycle
+        # history must not leak dispatch counts into the fresh one.
+        os.remove(journal_path(args.out))
+    dispatch_counts = {}
+    recovered = 0
+    journal = RunJournal(journal_path(args.out))
+    if not args.no_resume:
+        recovery = recover_run(args.out,
+                               completed_ids=RunStore(args.out).completed_ids())
+        if recovery.events_replayed:
+            print(recovery.summary())
+        for job_id, worker in sorted(recovery.leased.items()):
+            # Make the crash explicit in the journal: these jobs were in a
+            # worker's hands when the previous coordinator died.
+            journal.append("requeued", job_id=job_id,
+                           reason="coordinator restart", worker=worker,
+                           kind="restart")
+        dispatch_counts = recovery.dispatch_counts
+        recovered = len(recovery.leased)
+        if recovered:
+            from repro.obs import metrics
+            metrics.counter("coordinator.recovered_jobs").inc(recovered)
     backend = AsyncQueueBackend(
         workers=args.local_workers,
         host=args.host,
@@ -563,6 +609,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         heartbeat_timeout=args.heartbeat_timeout,
         max_requeues=args.max_requeues,
         on_started=announce,
+        journal=journal,
+        auth_token=_auth_token_from(args),
+        job_timeout=args.job_timeout,
+        dispatch_counts=dispatch_counts,
+        recovered_jobs=recovered,
     )
     try:
         outcome = run_sweep(spec, args.out, resume=not args.no_resume,
@@ -570,6 +621,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except (CoordinatorBindError, SpecError, StoreError) as exc:
         print(f"art9 serve: {exc}", file=sys.stderr)
         return 2
+    finally:
+        journal.close()
     if backend.stats is not None:
         print()
         print(backend.stats.summary())
@@ -585,13 +638,23 @@ def _cmd_work(args: argparse.Namespace) -> int:
     try:
         summary = work(host, int(port), name=args.name,
                        heartbeat_interval=args.heartbeat_interval,
-                       retry_seconds=args.retry_seconds)
+                       retry_seconds=args.retry_seconds,
+                       auth_token=_auth_token_from(args),
+                       job_timeout=args.job_timeout,
+                       max_retries=args.max_retries,
+                       retry_window=args.retry_window)
     except OSError as exc:
         print(f"art9 work: cannot reach coordinator at {args.connect}: {exc}",
               file=sys.stderr)
         return 2
     print(summary.summary())
-    return 0
+    if summary.outcome == "done":
+        return 0
+    if summary.outcome == "gave-up":
+        # Transient: the coordinator may come back; a supervisor can
+        # restart the worker.
+        return 1
+    return 2  # rejected: deterministic (bad token / protocol), do not retry
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -627,29 +690,43 @@ def _split_address(command: str, address: str):
     return host, int(port)
 
 
-def _status_live(address: str) -> int:
+def _status_live(address: str, token: Optional[str] = None) -> int:
     parsed = _split_address("status", address)
     if parsed is None:
         return 2
     host, port = parsed
     try:
-        status = request_status(host, port)
+        status = request_status(host, port, token=token)
     except (OSError, ConnectionError, json.JSONDecodeError) as exc:
         print(f"art9 status: cannot query coordinator at {address}: {exc}",
               file=sys.stderr)
         return 2
     print(f"jobs      {status['done']}/{status['jobs_total']} done, "
           f"{status['in_flight']} in flight, {status['queue_depth']} queued")
-    print(f"health    {status['requeues']} requeues, "
-          f"{status['lost_jobs']} lost, "
-          f"{status['duplicate_results']} duplicate results")
+    health = (f"health    {status['requeues']} requeues, "
+              f"{status['lost_jobs']} lost, "
+              f"{status['duplicate_results']} duplicate results")
+    for key, label in (("unknown_results", "unknown results"),
+                       ("reconnects", "reconnects"),
+                       ("auth_failures", "auth failures"),
+                       ("recovered_jobs", "recovered jobs")):
+        if status.get(key):
+            health += f", {status[key]} {label}"
+    print(health)
     workers = status.get("workers", {})
     print(f"workers   {status['connected_workers']} connected, "
           f"{len(workers)} seen")
     for name in sorted(workers):
         stats = workers[name]
+        # The reason histogram tells a flaky link (disconnects) from a
+        # slow or wedged worker (heartbeat timeouts) at a glance.
+        reasons = stats.get("requeue_reasons") or {}
+        why = ("" if not reasons else
+               " (" + ", ".join(f"{kind} {count}"
+                                for kind, count in sorted(reasons.items()))
+               + ")")
         print(f"  {name:28s} {stats['jobs_done']:>4d} done  "
-              f"{stats['requeues']:>3d} requeued  "
+              f"{stats['requeues']:>3d} requeued{why}  "
               f"heartbeat {stats['heartbeat_age_s']:6.1f}s ago")
     return 0
 
@@ -721,8 +798,26 @@ def _cmd_status(args: argparse.Namespace) -> int:
               "HOST:PORT", file=sys.stderr)
         return 2
     if args.connect:
-        return _status_live(args.connect)
+        return _status_live(args.connect, token=_auth_token_from(args))
     return _status_run_dir(args.run_dir)
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.testing.chaos import ChaosError, run_scenario
+    try:
+        result = run_scenario(args.scenario, seed=args.seed,
+                              out_dir=args.out, keep=args.keep)
+    except ChaosError as exc:
+        print(f"art9 chaos: {exc}", file=sys.stderr)
+        return 2
+    for line in result.events:
+        print(line)
+    print()
+    print(result.summary())
+    if not result.ok:
+        print(f"artifacts kept in {os.path.dirname(result.run_dir)}",
+              file=sys.stderr)
+    return 0 if result.ok else 1
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -1029,6 +1124,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="dispatch retries before a job is declared lost")
     serve.add_argument("--no-resume", action="store_true",
                        help="discard existing results in --out and recompute")
+    serve.add_argument("--resume", metavar="RUN_DIR", dest="resume_dir",
+                       default=None,
+                       help="restart a killed coordinator: load the spec "
+                            "from RUN_DIR, replay its journal, requeue "
+                            "formerly-leased jobs and keep going (replaces "
+                            "--out and the grid flags)")
+    serve.add_argument("--auth-token", default=None,
+                       help="shared worker-auth token (default: "
+                            f"${AUTH_TOKEN_ENV}); connections without it "
+                            "are refused")
+    serve.add_argument("--job-timeout", type=float, default=None,
+                       help="wall-clock seconds a local worker may spend on "
+                            "one job before reporting a timeout record "
+                            "(default: unlimited)")
     serve.add_argument("--trace", action="store_true",
                        help="record execution spans to <out>/spans.jsonl "
                             "(local workers only; remote workers trace into "
@@ -1045,8 +1154,20 @@ def build_parser() -> argparse.ArgumentParser:
     work_cmd.add_argument("--heartbeat-interval", type=float, default=2.0,
                           help="seconds between heartbeats while executing")
     work_cmd.add_argument("--retry-seconds", type=float, default=10.0,
-                          help="keep retrying the connection this long "
+                          help="keep retrying the first connection this long "
                                "(default: 10; lets workers start first)")
+    work_cmd.add_argument("--auth-token", default=None,
+                          help="shared worker-auth token (default: "
+                               f"${AUTH_TOKEN_ENV})")
+    work_cmd.add_argument("--job-timeout", type=float, default=None,
+                          help="wall-clock seconds per job before reporting "
+                               "a timeout record (default: unlimited)")
+    work_cmd.add_argument("--max-retries", type=int, default=8,
+                          help="consecutive reconnect attempts before "
+                               "giving up (default: 8)")
+    work_cmd.add_argument("--retry-window", type=float, default=120.0,
+                          help="wall-clock seconds of consecutive reconnect "
+                               "failure before giving up (default: 120)")
     work_cmd.set_defaults(func=_cmd_work)
 
     report = subparsers.add_parser(
@@ -1073,7 +1194,27 @@ def build_parser() -> argparse.ArgumentParser:
                         help="query a live art9 serve coordinator instead "
                              "(queue depth, in-flight jobs, per-worker stats); "
                              "safe against a running sweep")
+    status.add_argument("--auth-token", default=None,
+                        help="token for a token-guarded coordinator "
+                             f"(default: ${AUTH_TOKEN_ENV})")
     status.set_defaults(func=_cmd_status)
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="fault-injection harness: kill sweep participants mid-run and "
+             "assert the finished run is byte-identical to a clean one")
+    chaos.add_argument("--scenario", required=True,
+                       choices=CHAOS_SCENARIOS,
+                       help="which participant to kill and how")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="seed for kill timing jitter (default: 0)")
+    chaos.add_argument("--out", default=None,
+                       help="scratch directory for the disturbed + reference "
+                            "runs (default: a fresh temp dir, removed on "
+                            "success)")
+    chaos.add_argument("--keep", action="store_true",
+                       help="keep the scratch directory even on success")
+    chaos.set_defaults(func=_cmd_chaos)
 
     profile = subparsers.add_parser(
         "profile",

@@ -15,9 +15,11 @@ has an ``ok`` record.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import logging
 import os
+import tempfile
 from typing import Dict, List, Optional, Set
 
 from repro.runner.spec import SweepSpec
@@ -214,9 +216,25 @@ class RunStore:
         return "\n".join(lines)
 
     def write_summary(self) -> str:
-        """Rewrite ``summary.txt`` from the current records; returns the table."""
+        """Rewrite ``summary.txt`` from the current records; returns the table.
+
+        The rewrite is atomic (same-directory tempfile + ``os.replace``,
+        the :class:`~repro.cache.ArtifactCache` pattern): a crash mid-write
+        leaves either the previous summary or the new one, never a torn
+        half-table shadowing a complete ``results.jsonl``.
+        """
         table = self.summary_table()
-        with open(self.summary_path, "w", encoding="utf-8") as handle:
-            handle.write(table)
-            handle.write("\n")
+        fd, tmp_path = tempfile.mkstemp(
+            dir=self.root, prefix=SUMMARY_FILENAME + ".", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(table)
+                handle.write("\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, self.summary_path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.remove(tmp_path)
+            raise
         return table

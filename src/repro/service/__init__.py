@@ -16,7 +16,11 @@ to the records afterwards*:
   remaining load), requeues jobs lost to dead connections or missed
   heartbeats, and streams accepted records straight into the JSONL store;
 * :mod:`repro.service.workerclient` — the worker side (``art9 work``):
-  connect, pull, execute, heartbeat, report;
+  connect, pull, execute, heartbeat, report — and reconnect with backoff
+  when the coordinator goes away;
+* :mod:`repro.service.journal` — the coordinator's fsync'd write-ahead
+  journal of queue lifecycle events, which is what makes ``art9 serve
+  --resume`` able to restart a killed coordinator where it left off;
 * :mod:`repro.service.queue_backend` — :class:`AsyncQueueBackend`, which
   runs a coordinator in-process and optionally spawns local worker
   processes (CI uses a coordinator plus two local workers);
@@ -37,7 +41,14 @@ from repro.service.coordinator import (
     CoordinatorBindError,
     CoordinatorStats,
 )
-from repro.service.protocol import DEFAULT_PORT
+from repro.service.journal import (
+    JournalRecovery,
+    RunJournal,
+    journal_path,
+    recover_run,
+    replay_journal,
+)
+from repro.service.protocol import AUTH_TOKEN_ENV, DEFAULT_PORT, PROTOCOL_VERSION
 from repro.service.queue_backend import AsyncQueueBackend
 from repro.service.report import ReportError, ReportTable, build_report, render_report
 from repro.service.resultsdb import IngestReport, ResultsDB
@@ -51,7 +62,14 @@ __all__ = [
     "Coordinator",
     "CoordinatorBindError",
     "CoordinatorStats",
+    "AUTH_TOKEN_ENV",
     "DEFAULT_PORT",
+    "PROTOCOL_VERSION",
+    "JournalRecovery",
+    "RunJournal",
+    "journal_path",
+    "recover_run",
+    "replay_journal",
     "ResultsDB",
     "IngestReport",
     "ReportError",

@@ -20,7 +20,21 @@ Crash tolerance is entirely the coordinator's job:
   wins, so duplicated execution can never duplicate records;
 * a job requeued more than ``max_requeues`` times is declared **lost** and
   completed with a synthetic ``status="error"`` record (resume retries it,
-  and one poison job cannot wedge the whole run).
+  and one poison job cannot wedge the whole run);
+* a **result for a job the coordinator never enqueued** is refused and
+  counted — after a ``--resume`` restart a reconnecting worker may re-send
+  a record whose job already completed in the previous incarnation, and a
+  stray client can fabricate records; neither may disturb accounting;
+* the **coordinator's own death** is covered by the write-ahead journal
+  (:mod:`repro.service.journal`, wired in by the caller): every enqueue /
+  lease / accept / requeue is an fsync'd event next to ``results.jsonl``,
+  so ``art9 serve --resume`` rebuilds the pending set, requeues formerly
+  leased jobs, and keeps the poison budget counting across the crash.
+
+When constructed with an ``auth_token``, every connection must present it
+in its first message (constant-time compare) or it is refused with a
+deterministic ``error`` reply — stray or malicious clients can neither
+receive jobs nor inject results.
 """
 
 from __future__ import annotations
@@ -32,13 +46,18 @@ import logging
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, Optional, Sequence
+from typing import Callable, Deque, Dict, Mapping, Optional, Sequence
 
+from repro.obs import metrics
 from repro.runner.spec import SweepJob
+from repro.service.journal import RunJournal
 from repro.service.protocol import (
     MAX_MESSAGE_BYTES,
+    PROTOCOL_VERSION,
     read_message,
     send_and_drain,
+    send_message,
+    token_matches,
 )
 
 logger = logging.getLogger(__name__)
@@ -68,19 +87,33 @@ class CoordinatorStats:
     results_accepted: int = 0
     duplicate_results: int = 0
     malformed_results: int = 0
+    unknown_results: int = 0
     requeues: int = 0
     lost_jobs: int = 0
     workers_seen: int = 0
+    reconnects: int = 0
+    auth_failures: int = 0
+    recovered_jobs: int = 0
     worker_names: list = field(default_factory=list)
 
     def summary(self) -> str:
-        malformed = (f", {self.malformed_results} malformed results"
-                     if self.malformed_results else "")
+        extras = []
+        if self.malformed_results:
+            extras.append(f"{self.malformed_results} malformed results")
+        if self.unknown_results:
+            extras.append(f"{self.unknown_results} unknown results")
+        if self.reconnects:
+            extras.append(f"{self.reconnects} reconnects")
+        if self.auth_failures:
+            extras.append(f"{self.auth_failures} auth failures")
+        if self.recovered_jobs:
+            extras.append(f"{self.recovered_jobs} recovered jobs")
+        suffix = (", " + ", ".join(extras)) if extras else ""
         return (
             f"coordinator: {self.results_accepted}/{self.jobs_total} jobs from "
             f"{self.workers_seen} workers ({self.requeues} requeued, "
             f"{self.lost_jobs} lost, {self.duplicate_results} duplicate "
-            f"results{malformed})"
+            f"results{suffix})"
         )
 
 
@@ -106,6 +139,12 @@ class Coordinator:
     or synthetic-lost), then closes the listener.  The bound port is
     available as :attr:`port` once :meth:`wait_started` returns, which is
     what lets callers bind port 0 and spawn workers against the real port.
+
+    ``journal`` (a :class:`~repro.service.journal.RunJournal`) makes the
+    scheduler's state machine durable; ``dispatch_counts`` seeds the
+    poison-job budget from a journal replay so a ``--resume`` restart does
+    not hand a crashing job a fresh set of attempts; ``auth_token``
+    requires every connection to authenticate its first message.
     """
 
     def __init__(
@@ -116,6 +155,10 @@ class Coordinator:
         port: int = 0,
         heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
         max_requeues: int = DEFAULT_MAX_REQUEUES,
+        journal: Optional[RunJournal] = None,
+        auth_token: Optional[str] = None,
+        dispatch_counts: Optional[Mapping[str, int]] = None,
+        recovered_jobs: int = 0,
     ):
         self._pending: Deque[SweepJob] = deque(jobs)
         self._on_result = on_result
@@ -123,17 +166,27 @@ class Coordinator:
         self._requested_port = port
         self._heartbeat_timeout = heartbeat_timeout
         self._max_requeues = max_requeues
+        self._journal = journal
+        self._auth_token = auth_token
 
         self._in_flight: Dict[str, _InFlight] = {}
         self._done: Dict[str, dict] = {}
-        self._dispatch_counts: Dict[str, int] = {}
-        # worker name -> {"jobs_done", "requeues", "last_seen"} for the
-        # live status snapshot; purely observational.
+        self._dispatch_counts: Dict[str, int] = dict(dispatch_counts or {})
+        # Results are only accepted for jobs this run actually owns; a
+        # reconnecting worker re-sending a record its previous coordinator
+        # already persisted (and this --resume run therefore never
+        # enqueued) must not inflate the done count past jobs_total.
+        self._known_jobs = {job.job_id for job in self._pending}
+        # worker name -> {"jobs_done", "requeues", "requeue_reasons",
+        # "last_seen"} for the live status snapshot; purely observational.
         self._worker_stats: Dict[str, dict] = {}
+        self._seen_worker_names: set = set()
         self._connection_ids = itertools.count(1)
         self._handler_tasks: set = set()
+        self._writers: set = set()
 
-        self.stats = CoordinatorStats(jobs_total=len(self._pending))
+        self.stats = CoordinatorStats(jobs_total=len(self._pending),
+                                      recovered_jobs=recovered_jobs)
         self.port: Optional[int] = None
         self._started = asyncio.Event()
         self._all_done = asyncio.Event()
@@ -156,12 +209,32 @@ class Coordinator:
         """Worker connections currently open."""
         return len(self._handler_tasks)
 
+    def _journal_event(self, event: str, **fields) -> None:
+        if self._journal is None:
+            return
+        try:
+            self._journal.append(event, **fields)
+        except OSError as exc:
+            # Journal writes are advisory durability, results.jsonl is the
+            # source of truth; a full disk here should surface as the
+            # store-append failure it is about to become, not kill the
+            # handler mid-protocol.
+            logger.error("journal append failed (%s); continuing without "
+                         "durability for this event", exc)
+
     async def serve(self) -> CoordinatorStats:
         """Listen, dispatch, and return once every job has a record."""
         if not self._pending:
             self._all_done.set()
             self._started.set()
             return self.stats
+        if self._journal is not None:
+            try:
+                self._journal.append_many(
+                    {"event": "enqueued", "job_id": job.job_id}
+                    for job in self._pending)
+            except OSError as exc:
+                logger.error("journal enqueue batch failed (%s)", exc)
         try:
             server = await asyncio.start_server(
                 self._handle_connection, self._host, self._requested_port,
@@ -184,6 +257,15 @@ class Coordinator:
             with contextlib.suppress(asyncio.CancelledError):
                 await watchdog
             server.close()
+            if self._fatal is None and self.outstanding <= 0:
+                # The run completed: tell every still-connected worker so
+                # idle ones exit cleanly instead of mistaking the closed
+                # socket for a crash and burning their reconnect budget.
+                for writer in list(self._writers):
+                    with contextlib.suppress(Exception):
+                        send_message(writer, {"type": "done"})
+                    with contextlib.suppress(Exception):
+                        await asyncio.wait_for(writer.drain(), timeout=1.0)
             # Workers that were waiting for more work may still hold open
             # connections; cancel their handlers so shutdown is quiet.
             for task in list(self._handler_tasks):
@@ -210,7 +292,7 @@ class Coordinator:
         entry = self._worker_stats.get(worker)
         if entry is None:
             entry = self._worker_stats[worker] = {
-                "jobs_done": 0, "requeues": 0,
+                "jobs_done": 0, "requeues": 0, "requeue_reasons": {},
                 "last_seen": time.monotonic(),
             }
         return entry
@@ -232,11 +314,20 @@ class Coordinator:
             "requeues": self.stats.requeues,
             "lost_jobs": self.stats.lost_jobs,
             "duplicate_results": self.stats.duplicate_results,
+            "unknown_results": self.stats.unknown_results,
+            "reconnects": self.stats.reconnects,
+            "auth_failures": self.stats.auth_failures,
+            "recovered_jobs": self.stats.recovered_jobs,
             "connected_workers": self.connected_workers,
             "workers": {
                 name: {
                     "jobs_done": entry["jobs_done"],
                     "requeues": entry["requeues"],
+                    # Requeue cause histogram ({"disconnect": 2, ...}) so a
+                    # status probe can tell a flaky link (disconnects) from
+                    # a slow or wedged worker (heartbeat timeouts) — a bare
+                    # requeue count blames the worker either way.
+                    "requeue_reasons": dict(entry["requeue_reasons"]),
                     "heartbeat_age_s": round(now - entry["last_seen"], 3),
                 }
                 for name, entry in sorted(self._worker_stats.items())
@@ -255,6 +346,13 @@ class Coordinator:
             self.stats.malformed_results += 1
             logger.warning("dropping result record without a job_id "
                            "(keys: %s)", sorted(record))
+            return False
+        if job_id not in self._known_jobs:
+            self.stats.unknown_results += 1
+            metrics.counter("coordinator.unknown_results").inc()
+            logger.warning("dropping result for job this run never enqueued: "
+                           "job_id=%s", job_id,
+                           extra={"job_id": job_id})
             return False
         if job_id in self._done:
             self.stats.duplicate_results += 1
@@ -278,6 +376,8 @@ class Coordinator:
             self._pending = deque(
                 job for job in self._pending if job.job_id != job_id)
         self.stats.results_accepted += 1
+        self._journal_event("result-accepted", job_id=job_id,
+                            status=str(record.get("status") or "?"))
         if self.outstanding <= 0:
             self._all_done.set()
         return True
@@ -292,35 +392,49 @@ class Coordinator:
         for job_id, entry in list(self._in_flight.items()):
             del self._in_flight[job_id]
             self.stats.lost_jobs += 1
-            self._accept(lost_job_record(
-                entry.job, self._dispatch_counts.get(job_id, 1), reason))
+            attempts = self._dispatch_counts.get(job_id, 1)
+            self._journal_event("lost", job_id=job_id, reason=reason,
+                                attempts=attempts)
+            self._accept(lost_job_record(entry.job, attempts, reason))
         while self._pending:
             job = self._pending.popleft()
             self.stats.lost_jobs += 1
-            self._accept(lost_job_record(
-                job, self._dispatch_counts.get(job.job_id, 0), reason))
+            attempts = self._dispatch_counts.get(job.job_id, 0)
+            self._journal_event("lost", job_id=job.job_id, reason=reason,
+                                attempts=attempts)
+            self._accept(lost_job_record(job, attempts, reason))
         self._all_done.set()
 
-    def _requeue(self, entry: _InFlight, reason: str) -> None:
+    def _requeue(self, entry: _InFlight, reason: str,
+                 kind: str = "disconnect") -> None:
         attempts = self._dispatch_counts.get(entry.job.job_id, 1)
-        self._worker_entry(entry.worker)["requeues"] += 1
+        worker_entry = self._worker_entry(entry.worker)
+        worker_entry["requeues"] += 1
+        reasons = worker_entry["requeue_reasons"]
+        reasons[kind] = reasons.get(kind, 0) + 1
         if attempts > self._max_requeues:
             self.stats.lost_jobs += 1
+            metrics.counter("coordinator.lost_jobs").inc()
             logger.info(
                 "poison job declared lost: worker=%s job_id=%s attempts=%d "
                 "reason=%s", entry.worker, entry.job.job_id, attempts, reason,
                 extra={"worker_id": entry.worker,
                        "job_id": entry.job.job_id,
                        "reason": reason})
+            self._journal_event("lost", job_id=entry.job.job_id,
+                                reason=reason, attempts=attempts)
             self._accept(lost_job_record(entry.job, attempts, reason))
             return
         self.stats.requeues += 1
+        metrics.counter("coordinator.requeues").inc()
         logger.info(
             "job requeued: worker=%s job_id=%s attempt=%d reason=%s",
             entry.worker, entry.job.job_id, attempts, reason,
             extra={"worker_id": entry.worker,
                    "job_id": entry.job.job_id,
                    "reason": reason})
+        self._journal_event("requeued", job_id=entry.job.job_id,
+                            reason=reason, worker=entry.worker, kind=kind)
         self._pending.append(entry.job)
 
     def _assign(self, connection_id: int, worker: str) -> dict:
@@ -331,8 +445,10 @@ class Coordinator:
             self._in_flight[job.job_id] = _InFlight(
                 job=job, connection_id=connection_id, worker=worker,
                 last_seen=now)
-            self._dispatch_counts[job.job_id] = \
-                self._dispatch_counts.get(job.job_id, 0) + 1
+            attempt = self._dispatch_counts.get(job.job_id, 0) + 1
+            self._dispatch_counts[job.job_id] = attempt
+            self._journal_event("leased", job_id=job.job_id, worker=worker,
+                                attempt=attempt)
             return {
                 "type": "job", "job_id": job.job_id, "job": job.to_dict(),
                 # Workers beat well inside the timeout no matter how the
@@ -350,14 +466,24 @@ class Coordinator:
 
     # -- connection handling ------------------------------------------------
 
+    async def _refuse(self, writer: asyncio.StreamWriter,
+                      error: str) -> None:
+        """Send a deterministic rejection; the client must not retry."""
+        self.stats.auth_failures += 1
+        metrics.counter("coordinator.auth_failures").inc()
+        with contextlib.suppress(ConnectionError, OSError):
+            await send_and_drain(writer, {"type": "error", "error": error})
+
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
         task = asyncio.current_task()
         if task is not None:
             self._handler_tasks.add(task)
+        self._writers.add(writer)
         connection_id = next(self._connection_ids)
         worker = f"conn-{connection_id}"
         assigned: Optional[str] = None
+        authenticated = self._auth_token is None
         try:
             while True:
                 message = await read_message(reader)
@@ -365,19 +491,55 @@ class Coordinator:
                     break
                 mtype = message.get("type")
                 if mtype == "hello":
+                    protocol = message.get("protocol", 1)
+                    if not isinstance(protocol, int) or \
+                            protocol > PROTOCOL_VERSION:
+                        await self._refuse(
+                            writer,
+                            f"unsupported protocol {protocol!r} "
+                            f"(coordinator speaks {PROTOCOL_VERSION})")
+                        break
+                    if not token_matches(self._auth_token,
+                                         message.get("token")):
+                        logger.warning("refusing worker with bad auth "
+                                       "token: %s",
+                                       message.get("worker") or worker)
+                        await self._refuse(writer, "auth token mismatch")
+                        break
+                    authenticated = True
                     worker = str(message.get("worker") or worker)
                     self.stats.workers_seen += 1
                     self.stats.worker_names.append(worker)
-                    self._worker_entry(worker)
+                    if worker in self._seen_worker_names:
+                        # Same name, new connection: the worker survived a
+                        # socket loss (or the coordinator a restart) and
+                        # rejoined.
+                        self.stats.reconnects += 1
+                        metrics.counter("coordinator.reconnects").inc()
+                        logger.info("worker reconnected: worker=%s", worker,
+                                    extra={"worker_id": worker})
+                    self._seen_worker_names.add(worker)
+                    self._worker_entry(worker)["last_seen"] = time.monotonic()
                     continue
                 if mtype == "status":
                     # Observational request (art9 status --connect):
                     # answered inline from coordinator state, never routed
                     # through _assign, so probing a live run can neither
-                    # receive a job nor perturb scheduling.
+                    # receive a job nor perturb scheduling.  It carries its
+                    # own token — a probe never sends a hello.
+                    if not authenticated and not token_matches(
+                            self._auth_token, message.get("token")):
+                        await self._refuse(writer, "auth token mismatch")
+                        break
                     await send_and_drain(writer, {
                         "type": "status", "status": self.status_snapshot()})
                     continue
+                if not authenticated:
+                    # No valid hello yet on a token-guarded coordinator:
+                    # nothing else is allowed — a stray client can neither
+                    # pull jobs nor inject results.
+                    await self._refuse(writer, "authentication required")
+                    break
                 if mtype == "heartbeat":
                     entry = self._in_flight.get(str(message.get("job_id")))
                     if entry is not None and entry.connection_id == connection_id:
@@ -405,6 +567,7 @@ class Coordinator:
         finally:
             if task is not None:
                 self._handler_tasks.discard(task)
+            self._writers.discard(writer)
             if assigned is not None:
                 entry = self._in_flight.get(assigned)
                 if entry is not None and entry.connection_id == connection_id:
@@ -414,7 +577,8 @@ class Coordinator:
                         "job_id=%s reason=connection closed", worker, assigned,
                         extra={"worker_id": worker, "job_id": assigned,
                                "reason": "connection closed"})
-                    self._requeue(entry, f"worker {worker} disconnected")
+                    self._requeue(entry, f"worker {worker} disconnected",
+                                  kind="disconnect")
                     if self.outstanding <= 0:
                         self._all_done.set()
             writer.close()
@@ -435,7 +599,8 @@ class Coordinator:
                     self._requeue(
                         entry,
                         f"worker {entry.worker} missed heartbeats for "
-                        f"{self._heartbeat_timeout:.1f}s")
+                        f"{self._heartbeat_timeout:.1f}s",
+                        kind="heartbeat-timeout")
             if self.outstanding <= 0:
                 self._all_done.set()
                 return

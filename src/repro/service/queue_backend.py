@@ -22,7 +22,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import multiprocessing
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Mapping, Optional, Sequence
 
 from repro.runner.spec import SweepJob
 from repro.service.backends import EmitFn, ExecutionBackend
@@ -32,6 +32,7 @@ from repro.service.coordinator import (
     Coordinator,
     CoordinatorStats,
 )
+from repro.service.journal import RunJournal
 from repro.service.workerclient import (
     DEFAULT_HEARTBEAT_INTERVAL,
     run_worker_process,
@@ -55,6 +56,11 @@ class AsyncQueueBackend(ExecutionBackend):
         heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
         max_requeues: int = DEFAULT_MAX_REQUEUES,
         on_started: Optional[StartedFn] = None,
+        journal: Optional[RunJournal] = None,
+        auth_token: Optional[str] = None,
+        job_timeout: Optional[float] = None,
+        dispatch_counts: Optional[Mapping[str, int]] = None,
+        recovered_jobs: int = 0,
     ):
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
@@ -65,6 +71,19 @@ class AsyncQueueBackend(ExecutionBackend):
         self.heartbeat_interval = heartbeat_interval
         self.max_requeues = max_requeues
         self.on_started = on_started
+        #: Write-ahead journal handle (``art9 serve`` wires one per run
+        #: dir); coordinator lifecycle events land here, fsync'd.
+        self.journal = journal
+        #: Shared worker-auth token; local spawned workers receive it too.
+        self.auth_token = auth_token
+        #: Per-job wall-clock execution budget for local spawned workers.
+        self.job_timeout = job_timeout
+        #: Dispatch counts recovered from a journal replay (``--resume``),
+        #: so the poison-job budget keeps counting across restarts.
+        self.dispatch_counts = dict(dispatch_counts or {})
+        #: Number of formerly-leased jobs a journal replay requeued (shown
+        #: in the final stats line of a resumed run).
+        self.recovered_jobs = recovered_jobs
         #: Stats of the most recent run (None before the first execute()).
         self.stats: Optional[CoordinatorStats] = None
 
@@ -86,6 +105,10 @@ class AsyncQueueBackend(ExecutionBackend):
             port=self.port,
             heartbeat_timeout=self.heartbeat_timeout,
             max_requeues=self.max_requeues,
+            journal=self.journal,
+            auth_token=self.auth_token,
+            dispatch_counts=self.dispatch_counts,
+            recovered_jobs=self.recovered_jobs,
         )
         serve_task = asyncio.create_task(coordinator.serve())
         await coordinator.wait_started()
@@ -141,7 +164,9 @@ class AsyncQueueBackend(ExecutionBackend):
             process = context.Process(
                 target=run_worker_process,
                 args=(connect_host, port),
-                kwargs={"heartbeat_interval": self.heartbeat_interval},
+                kwargs={"heartbeat_interval": self.heartbeat_interval,
+                        "auth_token": self.auth_token,
+                        "job_timeout": self.job_timeout},
                 daemon=True,
             )
             process.start()

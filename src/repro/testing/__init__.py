@@ -13,6 +13,12 @@ identical architectural state (registers, memory, PC, halt flag) and
 identical pipeline statistics from every analytic timing model.
 
 Run it from the command line with ``art9 fuzz --count 500 --seed 0``.
+
+The package also hosts the fault-injection harness for the distributed
+sweep service (:mod:`repro.testing.chaos`, ``art9 chaos``): real
+coordinator + worker fleets driven to completion while this side kills,
+freezes and corrupts them, gated on byte-identical canonical records
+against an undisturbed serial run.
 """
 
 from repro.testing.generator import (
@@ -42,3 +48,18 @@ __all__ = [
     "run_batch_differential",
     "run_differential",
 ]
+
+
+_CHAOS_EXPORTS = ("CHAOS_SCENARIOS", "ChaosError", "ChaosResult",
+                  "run_scenario")
+__all__ += list(_CHAOS_EXPORTS)
+
+
+def __getattr__(name):
+    # The chaos harness imports repro.service, which imports the worker
+    # module, which imports this package — resolving chaos lazily (PEP
+    # 562) keeps the convenience exports without the import cycle.
+    if name in _CHAOS_EXPORTS:
+        from repro.testing import chaos
+        return getattr(chaos, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
